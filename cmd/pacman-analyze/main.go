@@ -1,0 +1,55 @@
+// pacman-analyze dumps the static-analysis artifacts (local and global
+// dependency graphs) for the built-in workloads — the tool form of the
+// paper's Figures 3-5 and 21.
+//
+//	pacman-analyze -workload tpcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pacman/internal/analysis"
+	"pacman/internal/chopping"
+	"pacman/internal/proc"
+	"pacman/internal/workload"
+)
+
+func main() {
+	which := flag.String("workload", "tpcc", "bank | tpcc | smallbank")
+	withChopping := flag.Bool("chopping", false, "also print the transaction-chopping decomposition")
+	flag.Parse()
+
+	var procs []*proc.Compiled
+	switch *which {
+	case "bank":
+		b := workload.NewBank(10)
+		procs = []*proc.Compiled{b.Transfer, b.Deposit}
+	case "tpcc":
+		procs = workload.NewTPCC(workload.DefaultTPCCConfig()).LoggingProcs()
+	case "smallbank":
+		procs = workload.NewSmallbank(workload.DefaultSmallbankConfig()).LoggingProcs()
+	default:
+		log.Fatalf("unknown workload %q", *which)
+	}
+
+	var ldgs []*analysis.LDG
+	for _, c := range procs {
+		l := analysis.BuildLDG(c)
+		ldgs = append(ldgs, l)
+		fmt.Print(l.String())
+		fmt.Println()
+	}
+	fmt.Print(analysis.BuildGDG(ldgs).String())
+
+	if *withChopping {
+		fmt.Println("\n--- transaction chopping ---")
+		chopped := chopping.Decompose(procs)
+		for _, l := range chopped {
+			fmt.Print(l.String())
+			fmt.Println()
+		}
+		fmt.Print(analysis.BuildGDG(chopped).String())
+	}
+}

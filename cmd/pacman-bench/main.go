@@ -1,0 +1,94 @@
+// pacman-bench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows/series the paper plots.
+//
+//	pacman-bench -exp fig14            # one experiment, bench scale
+//	pacman-bench -exp all -full        # everything, full scale (slow)
+//	pacman-bench -list                 # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pacman/internal/harness"
+)
+
+var experiments = map[string]func(io.Writer, harness.Scale) error{
+	"fig11a": func(w io.Writer, s harness.Scale) error { return harness.Fig11(w, s, 1) },
+	"fig11b": func(w io.Writer, s harness.Scale) error { return harness.Fig11(w, s, 2) },
+	"table1": harness.Table1,
+	"fig12":  harness.Fig12,
+	"fig13":  harness.Fig13,
+	"fig14":  harness.Fig14,
+	"fig15":  harness.Fig15,
+	"fig16":  harness.Fig16,
+	"fig17":  harness.Fig17,
+	"fig18":  harness.Fig18,
+	"fig19":  harness.Fig19,
+	"fig20":  harness.Fig20,
+	"fig21":  harness.Fig21,
+	"table2": harness.Table2,
+	"table3": harness.Table3,
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, or 'all')")
+	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
+	list := flag.Bool("list", false, "list experiment ids")
+	duration := flag.Duration("duration", 0, "override logging-run duration")
+	workers := flag.Int("workers", 0, "override OLTP worker count")
+	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
+	flag.Parse()
+
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+	scale := harness.DefaultScale(!*full)
+	if *duration > 0 {
+		scale.Duration = *duration
+	}
+	if *workers > 0 {
+		scale.Workers = *workers
+	}
+	if *warehouses > 0 {
+		scale.Warehouses = *warehouses
+	}
+
+	run := func(id string) {
+		fn, ok := experiments[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q; use -list", id)
+		}
+		start := time.Now()
+		if err := fn(os.Stdout, scale); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	switch *exp {
+	case "":
+		log.Fatal("missing -exp; use -list to enumerate")
+	case "all":
+		for _, id := range ids {
+			run(id)
+		}
+	default:
+		for _, id := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(id))
+		}
+	}
+}

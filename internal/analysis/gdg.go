@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pacman/internal/proc"
+)
+
+// SliceRef identifies a slice globally: (procedure ID, slice ID in its LDG).
+type SliceRef struct {
+	ProcID  int
+	SliceID int
+}
+
+// Block is one node of the global dependency graph: a set of slices from
+// (possibly) many procedures whose pieces form one piece-set per log batch.
+type Block struct {
+	ID     int
+	Slices []SliceRef
+}
+
+// GroupDef describes one static operation group of a piece: a connected
+// component of intra-piece flow dependencies. Operation instances of one
+// group always execute together as one scheduling unit of the dynamic
+// analysis; CommonDepth is the number of enclosing loops shared by all
+// members, which determines how loop iterations split into dynamic groups.
+type GroupDef struct {
+	CommonDepth int
+	Ops         []int
+}
+
+// PieceDef is the static definition of one piece: the operations a given
+// procedure contributes to a given block, partitioned into groups.
+type PieceDef struct {
+	Proc  *proc.Compiled
+	Block int
+	Ops   []int
+	// GroupOf maps each op of the piece to its group index (ops not in the
+	// piece map to -1).
+	GroupOf map[int]int
+	Groups  []GroupDef
+	// Filter is the op-set filter selecting this piece's operations.
+	Filter proc.OpSetFilter
+}
+
+// GDG is the global dependency graph (Section 4.1.2): blocks in a
+// deterministic topological order, block dependency edges, and the derived
+// lookup structures recovery scheduling needs.
+type GDG struct {
+	Procs  []*proc.Compiled
+	LDGs   []*LDG // parallel to Procs
+	Blocks []*Block
+
+	preds [][]int // per block: direct predecessor blocks, sorted
+	succs [][]int
+
+	// pieces maps a procedure's registry ID to its pieces ordered by block
+	// ID. Keyed by ID (not input position) because the GDG is typically
+	// built over the log-generating procedures only — read-only procedures
+	// are excluded, exactly as the paper's Figure 21 ignores them.
+	pieces map[int][]*PieceDef
+
+	// tableOwner maps a catalog table ID to the block containing its
+	// modification operations (unique: any two writers of one table are
+	// data-dependent and therefore share a block), or -1 for tables that
+	// are never modified by any procedure.
+	tableOwner map[int]int
+}
+
+// BuildGDG integrates the local dependency graphs into the global graph
+// following Algorithm 2. The LDGs may come from PACMAN's slicer (BuildLDG)
+// or any alternative decomposition (e.g., transaction chopping); the
+// integration and all derived structures are decomposition-agnostic.
+func BuildGDG(ldgs []*LDG) *GDG {
+	g := &GDG{LDGs: ldgs, tableOwner: make(map[int]int)}
+	for _, l := range ldgs {
+		g.Procs = append(g.Procs, l.Proc)
+	}
+
+	// Global slice numbering.
+	type gslice struct {
+		ref SliceRef
+		ldg *LDG
+		s   *Slice
+	}
+	var slices []gslice
+	sliceIdx := make(map[SliceRef]int)
+	for pi, l := range ldgs {
+		for _, s := range l.Slices {
+			ref := SliceRef{ProcID: pi, SliceID: s.ID}
+			sliceIdx[ref] = len(slices)
+			slices = append(slices, gslice{ref: ref, ldg: l, s: s})
+		}
+	}
+	n := len(slices)
+	uf := newUnionFind(n)
+
+	// Merge blocks holding data-dependent slices from distinct procedures
+	// (same-procedure data dependencies were already merged into one slice
+	// by Algorithm 1). Data dependence is table-granular: both touch the
+	// table, at least one modifies it.
+	type tableUse struct{ reads, writes []int }
+	uses := make(map[int]*tableUse)
+	for gi, gs := range slices {
+		seen := make(map[int]uint8) // tableID -> 1=read 2=write bits
+		for _, opID := range gs.s.Ops {
+			op := gs.ldg.Proc.Op(opID)
+			if op.Kind.IsModification() {
+				seen[op.TableID] |= 2
+			} else {
+				seen[op.TableID] |= 1
+			}
+		}
+		for tid, bits := range seen {
+			u := uses[tid]
+			if u == nil {
+				u = &tableUse{}
+				uses[tid] = u
+			}
+			if bits&2 != 0 {
+				u.writes = append(u.writes, gi)
+			}
+			if bits&1 != 0 {
+				u.reads = append(u.reads, gi)
+			}
+		}
+	}
+	for _, u := range uses {
+		// All writers of a table merge together, and every reader merges
+		// with the writers. Readers of a never-written table stay apart.
+		for i := 1; i < len(u.writes); i++ {
+			uf.union(u.writes[0], u.writes[i])
+		}
+		if len(u.writes) > 0 {
+			for _, r := range u.reads {
+				uf.union(u.writes[0], r)
+			}
+		}
+	}
+
+	// Edge function: slice-level flow edges (intra-procedure only).
+	depsOf := func(gi int) []int {
+		gs := slices[gi]
+		var deps []int
+		// Predecessors of gs: slices with an edge into gs.
+		for from, succ := range gs.ldg.Succs {
+			for _, to := range succ {
+				if to == gs.ref.SliceID {
+					deps = append(deps, sliceIdx[SliceRef{ProcID: gs.ref.ProcID, SliceID: from}])
+				}
+			}
+		}
+		return deps
+	}
+
+	// Cycle breaking on the block quotient graph, to fixpoint (merging can
+	// create new cycles).
+	for mergeSCCs(n, uf, depsOf) {
+	}
+
+	// Assemble blocks with a deterministic topological order.
+	groups := uf.groups()
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	// Signature for tie-breaking: smallest (procID, sliceID) member.
+	sigOf := func(r int) SliceRef {
+		best := slices[groups[r][0]].ref
+		for _, m := range groups[r] {
+			ref := slices[m].ref
+			if ref.ProcID < best.ProcID || (ref.ProcID == best.ProcID && ref.SliceID < best.SliceID) {
+				best = ref
+			}
+		}
+		return best
+	}
+	// Build quotient edges among roots.
+	qsucc := make(map[int]map[int]struct{})
+	qpredCount := make(map[int]int)
+	for _, r := range roots {
+		qsucc[r] = make(map[int]struct{})
+	}
+	for gi := range slices {
+		rTo := uf.find(gi)
+		for _, d := range depsOf(gi) {
+			rFrom := uf.find(d)
+			if rFrom == rTo {
+				continue
+			}
+			if _, dup := qsucc[rFrom][rTo]; !dup {
+				qsucc[rFrom][rTo] = struct{}{}
+				qpredCount[rTo]++
+			}
+		}
+	}
+	// Kahn's algorithm with deterministic tie-breaking.
+	less := func(a, b int) bool {
+		sa, sb := sigOf(a), sigOf(b)
+		if sa.ProcID != sb.ProcID {
+			return sa.ProcID < sb.ProcID
+		}
+		return sa.SliceID < sb.SliceID
+	}
+	var ready []int
+	for _, r := range roots {
+		if qpredCount[r] == 0 {
+			ready = append(ready, r)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+	blockOf := make(map[int]int) // root -> block ID
+	var order []int
+	for len(ready) > 0 {
+		r := ready[0]
+		ready = ready[1:]
+		blockOf[r] = len(order)
+		order = append(order, r)
+		var newly []int
+		for to := range qsucc[r] {
+			qpredCount[to]--
+			if qpredCount[to] == 0 {
+				newly = append(newly, to)
+			}
+		}
+		sort.Slice(newly, func(i, j int) bool { return less(newly[i], newly[j]) })
+		ready = append(ready, newly...)
+		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+	}
+	if len(order) != len(roots) {
+		// Cannot happen: SCC merging removed all cycles.
+		panic("analysis: GDG quotient graph is cyclic")
+	}
+
+	g.Blocks = make([]*Block, len(order))
+	g.preds = make([][]int, len(order))
+	g.succs = make([][]int, len(order))
+	for id, r := range order {
+		b := &Block{ID: id}
+		for _, m := range groups[r] {
+			b.Slices = append(b.Slices, slices[m].ref)
+		}
+		sort.Slice(b.Slices, func(i, j int) bool {
+			if b.Slices[i].ProcID != b.Slices[j].ProcID {
+				return b.Slices[i].ProcID < b.Slices[j].ProcID
+			}
+			return b.Slices[i].SliceID < b.Slices[j].SliceID
+		})
+		g.Blocks[id] = b
+	}
+	for _, rFrom := range order {
+		from := blockOf[rFrom]
+		for rTo := range qsucc[rFrom] {
+			to := blockOf[rTo]
+			g.succs[from] = append(g.succs[from], to)
+			g.preds[to] = append(g.preds[to], from)
+		}
+	}
+	for i := range g.preds {
+		sort.Ints(g.preds[i])
+		sort.Ints(g.succs[i])
+	}
+
+	g.buildPieces(sliceIdx, uf, blockOf)
+	g.buildTableOwners()
+	return g
+}
+
+// buildPieces derives per-procedure piece definitions: the union of a
+// procedure's slice ops per block (GDG property 4 merges same-procedure
+// slices inside a block into one slice — one piece), plus the static
+// operation groups used by the dynamic analysis.
+func (g *GDG) buildPieces(sliceIdx map[SliceRef]int, uf *unionFind, blockOf map[int]int) {
+	g.pieces = make(map[int][]*PieceDef, len(g.Procs))
+	for pi, l := range g.LDGs {
+		byBlock := make(map[int][]int) // block -> ops
+		for _, s := range l.Slices {
+			gi := sliceIdx[SliceRef{ProcID: pi, SliceID: s.ID}]
+			b := blockOf[uf.find(gi)]
+			byBlock[b] = append(byBlock[b], s.Ops...)
+		}
+		blockIDs := make([]int, 0, len(byBlock))
+		for b := range byBlock {
+			blockIDs = append(blockIDs, b)
+		}
+		sort.Ints(blockIDs)
+		id := l.Proc.ID()
+		for _, b := range blockIDs {
+			ops := byBlock[b]
+			sort.Ints(ops)
+			g.pieces[id] = append(g.pieces[id], buildPieceDef(l.Proc, b, ops))
+		}
+	}
+}
+
+// buildPieceDef partitions a piece's ops into static groups: connected
+// components under intra-piece flow dependencies.
+func buildPieceDef(c *proc.Compiled, block int, ops []int) *PieceDef {
+	pd := &PieceDef{
+		Proc:    c,
+		Block:   block,
+		Ops:     ops,
+		GroupOf: make(map[int]int, len(ops)),
+		Filter:  make(proc.OpSetFilter, len(ops)),
+	}
+	inPiece := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		inPiece[op] = true
+		pd.Filter[op] = true
+	}
+	// Union-find over positions within ops.
+	pos := make(map[int]int, len(ops))
+	for i, op := range ops {
+		pos[op] = i
+	}
+	uf := newUnionFind(len(ops))
+	for _, op := range ops {
+		for _, d := range c.Op(op).FlowDeps {
+			if inPiece[d] {
+				uf.union(pos[op], pos[d])
+			}
+		}
+	}
+	comps := uf.groups()
+	roots := make([]int, 0, len(comps))
+	for r := range comps {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return comps[roots[i]][0] < comps[roots[j]][0] })
+	for gid, r := range roots {
+		var members []int
+		depth := -1
+		for _, p := range comps[r] {
+			op := ops[p]
+			members = append(members, op)
+			pd.GroupOf[op] = gid
+			d := len(c.Op(op).Loops)
+			if depth == -1 || d < depth {
+				depth = d
+			}
+		}
+		// CommonDepth is the longest common prefix of the members' loop
+		// nests; with structured nesting the shallowest member's depth is
+		// that prefix length.
+		sort.Ints(members)
+		pd.Groups = append(pd.Groups, GroupDef{CommonDepth: depth, Ops: members})
+	}
+	return pd
+}
+
+// buildTableOwners records, for every table modified by any procedure, the
+// unique block holding its writers.
+func (g *GDG) buildTableOwners() {
+	for pi, l := range g.LDGs {
+		for _, piece := range g.pieces[pi] {
+			for _, opID := range piece.Ops {
+				op := l.Proc.Op(opID)
+				if op.Kind.IsModification() {
+					if prev, ok := g.tableOwner[op.TableID]; ok && prev != piece.Block {
+						// Impossible by construction; guard against slicer bugs.
+						panic(fmt.Sprintf("analysis: table %s owned by blocks %d and %d",
+							op.Table, prev, piece.Block))
+					}
+					g.tableOwner[op.TableID] = piece.Block
+				}
+			}
+		}
+	}
+}
+
+// NumBlocks returns the number of blocks.
+func (g *GDG) NumBlocks() int { return len(g.Blocks) }
+
+// Preds returns the direct predecessor blocks of b.
+func (g *GDG) Preds(b int) []int { return g.preds[b] }
+
+// Succs returns the direct successor blocks of b.
+func (g *GDG) Succs(b int) []int { return g.succs[b] }
+
+// PiecesFor returns the piece definitions of a procedure, ordered by block.
+func (g *GDG) PiecesFor(procID int) []*PieceDef { return g.pieces[procID] }
+
+// TableOwner returns the block that modifies the given table, or -1 if the
+// table is never modified.
+func (g *GDG) TableOwner(tableID int) int {
+	if b, ok := g.tableOwner[tableID]; ok {
+		return b
+	}
+	return -1
+}
+
+// String renders the GDG in the style of the paper's Figure 5c / Figure 21:
+// blocks with their slices and the block dependency edges.
+func (g *GDG) String() string {
+	var b strings.Builder
+	b.WriteString("Global dependency graph:\n")
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "  B%d {", blk.ID)
+		for i, ref := range blk.Slices {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s.S%d", g.Procs[ref.ProcID].Name(), ref.SliceID+1)
+		}
+		fmt.Fprintf(&b, "} -> B%v\n", g.succs[blk.ID])
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package analysis
+
+// unionFind is a plain disjoint-set structure with path compression and
+// union by size, used by the slice and block merging steps of Algorithms 1
+// and 2.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, returning true if they were distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// groups returns the members of each set, keyed by root, with members
+// sorted ascending.
+func (u *unionFind) groups() map[int][]int {
+	out := make(map[int][]int)
+	for i := range u.parent {
+		r := u.find(i)
+		out[r] = append(out[r], i)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package chopping implements the transaction-chopping baseline (Shasha,
+// Llirbat, Simon, Valduriez, TODS 1995) that Figure 18 compares PACMAN's
+// static analysis against.
+//
+// Chopping decomposes transactions into pieces such that any strict
+// two-phase-locked execution of the pieces is serializable. That property is
+// stronger than what log replay needs, and it forces coarser pieces: a
+// decomposition is valid only if the undirected graph of S edges (between
+// sibling pieces of one transaction) and C edges (between conflicting pieces
+// of different transactions) contains no SC-cycle — no cycle with both an S
+// edge and at least two C edges. Whenever two pieces of one procedure are
+// connected through the rest of the graph, they must be merged.
+//
+// The baseline starts from PACMAN's decomposition (the finest
+// data-dependence-closed one) and coarsens it to SC-cycle freedom, then
+// hands the result to the shared GDG machinery, so the Figure 18 comparison
+// isolates exactly the decomposition difference.
+package chopping
+
+import (
+	"pacman/internal/analysis"
+	"pacman/internal/proc"
+)
+
+// Decompose returns chopping-based local dependency graphs for the given
+// procedures, jointly coarsened to eliminate SC-cycles.
+func Decompose(procs []*proc.Compiled) []*analysis.LDG {
+	ldgs := make([]*analysis.LDG, len(procs))
+	for i, c := range procs {
+		ldgs[i] = analysis.BuildLDG(c)
+	}
+	for {
+		merges := findSCCycleMerges(ldgs)
+		if len(merges) == 0 {
+			return ldgs
+		}
+		for pi, groups := range merges {
+			ldgs[pi] = analysis.BuildLDGWith(procs[pi], groups)
+		}
+	}
+}
+
+// pieceKey identifies a piece globally during the SC analysis.
+type pieceKey struct {
+	proc, slice int
+}
+
+// findSCCycleMerges returns, per procedure index, op groups that must merge
+// because two of the procedure's pieces lie on an SC-cycle. An SC-cycle
+// through pieces p and q of procedure P exists exactly when p and q are
+// connected in the graph formed by all C edges plus the S edges of every
+// procedure other than P.
+func findSCCycleMerges(ldgs []*analysis.LDG) map[int][][]int {
+	// Enumerate pieces.
+	var pieces []pieceKey
+	idx := make(map[pieceKey]int)
+	for pi, l := range ldgs {
+		for _, s := range l.Slices {
+			k := pieceKey{proc: pi, slice: s.ID}
+			idx[k] = len(pieces)
+			pieces = append(pieces, k)
+		}
+	}
+
+	// Table usage per piece.
+	type use struct{ read, write bool }
+	usage := make([]map[int]use, len(pieces))
+	for pi, l := range ldgs {
+		for _, s := range l.Slices {
+			u := make(map[int]use)
+			for _, opID := range s.Ops {
+				op := l.Proc.Op(opID)
+				cur := u[op.TableID]
+				if op.Kind.IsModification() {
+					cur.write = true
+				} else {
+					cur.read = true
+				}
+				u[op.TableID] = cur
+			}
+			usage[idx[pieceKey{proc: pi, slice: s.ID}]] = u
+		}
+	}
+
+	// C edges: cross-procedure pieces conflicting on some table.
+	conflict := func(a, b int) bool {
+		for tid, ua := range usage[a] {
+			ub, ok := usage[b][tid]
+			if !ok {
+				continue
+			}
+			if ua.write || ub.write {
+				return true
+			}
+		}
+		return false
+	}
+	var cEdges [][2]int
+	for a := 0; a < len(pieces); a++ {
+		for b := a + 1; b < len(pieces); b++ {
+			if pieces[a].proc != pieces[b].proc && conflict(a, b) {
+				cEdges = append(cEdges, [2]int{a, b})
+			}
+		}
+	}
+
+	merges := make(map[int][][]int)
+	for pi, l := range ldgs {
+		if len(l.Slices) < 2 {
+			continue
+		}
+		// Connectivity over C edges plus S edges of other procedures.
+		uf := newUF(len(pieces))
+		for _, e := range cEdges {
+			uf.union(e[0], e[1])
+		}
+		for qi, lq := range ldgs {
+			if qi == pi || len(lq.Slices) < 2 {
+				continue
+			}
+			first := idx[pieceKey{proc: qi, slice: lq.Slices[0].ID}]
+			for _, s := range lq.Slices[1:] {
+				uf.union(first, idx[pieceKey{proc: qi, slice: s.ID}])
+			}
+		}
+		// Any two pieces of pi in one component must merge.
+		byRoot := make(map[int][]int)
+		for _, s := range l.Slices {
+			p := idx[pieceKey{proc: pi, slice: s.ID}]
+			r := uf.find(p)
+			byRoot[r] = append(byRoot[r], s.ID)
+		}
+		var groups [][]int
+		for _, members := range byRoot {
+			if len(members) < 2 {
+				continue
+			}
+			var ops []int
+			for _, sid := range members {
+				ops = append(ops, l.Slices[sid].Ops...)
+			}
+			groups = append(groups, ops)
+		}
+		if len(groups) > 0 {
+			merges[pi] = groups
+		}
+	}
+	return merges
+}
+
+// uf is a local union-find (analysis' one is unexported).
+type uf struct{ parent []int }
+
+func newUF(n int) *uf {
+	u := &uf{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *uf) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}

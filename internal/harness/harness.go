@@ -1,0 +1,353 @@
+// Package harness drives the paper's experiments: it runs workloads under
+// configurable logging, crashes them, recovers with every scheme, and
+// prints the rows/series of each table and figure of the evaluation
+// (Section 6 and Appendix D).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman/internal/analysis"
+	"pacman/internal/checkpoint"
+	"pacman/internal/chopping"
+	"pacman/internal/engine"
+	"pacman/internal/metrics"
+	"pacman/internal/proc"
+	"pacman/internal/recovery"
+	"pacman/internal/simdisk"
+	"pacman/internal/txn"
+	"pacman/internal/wal"
+	"pacman/internal/workload"
+)
+
+// WorkloadKind selects the benchmark.
+type WorkloadKind string
+
+// Supported workloads.
+const (
+	TPCC      WorkloadKind = "tpcc"
+	Smallbank WorkloadKind = "smallbank"
+	BankWk    WorkloadKind = "bank"
+)
+
+// RunConfig describes one OLTP run.
+type RunConfig struct {
+	Workload  WorkloadKind
+	TPCC      workload.TPCCConfig
+	SB        workload.SmallbankConfig
+	BankAccts int
+
+	Logging      wal.Kind
+	Devices      int
+	DeviceConfig simdisk.Config
+	// Workers is the number of transaction-execution goroutines (the
+	// paper's 32 worker threads, scaled).
+	Workers int
+	// Duration bounds the run (alternative: Txns).
+	Duration time.Duration
+	// Txns bounds the run by transaction count (0 = use Duration).
+	Txns int
+	// AdHocPct tags this percentage of update transactions ad-hoc.
+	AdHocPct int
+
+	EpochInterval   time.Duration
+	BatchEpochs     uint32
+	DisableSync     bool
+	CheckpointEvery time.Duration
+	Seed            int64
+	// SampleEvery sets the throughput-trace resolution.
+	SampleEvery time.Duration
+}
+
+// Defaults fills zero fields with bench-scale values.
+func (c RunConfig) Defaults() RunConfig {
+	if c.Workload == "" {
+		c.Workload = TPCC
+	}
+	if c.Workload == TPCC && c.TPCC.Warehouses == 0 {
+		c.TPCC = workload.DefaultTPCCConfig()
+		// The paper disables inserts for the logging experiments.
+		c.TPCC.DisableInserts = true
+	}
+	if c.Workload == Smallbank && c.SB.Customers == 0 {
+		c.SB = workload.DefaultSmallbankConfig()
+	}
+	if c.BankAccts == 0 {
+		c.BankAccts = 1000
+	}
+	if c.Devices == 0 {
+		c.Devices = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Duration == 0 && c.Txns == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.EpochInterval == 0 {
+		c.EpochInterval = 5 * time.Millisecond
+	}
+	if c.BatchEpochs == 0 {
+		c.BatchEpochs = 10
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// makeWorkload instantiates the configured benchmark.
+func (c RunConfig) makeWorkload() workload.Workload {
+	switch c.Workload {
+	case Smallbank:
+		return workload.NewSmallbank(c.SB)
+	case BankWk:
+		return workload.NewBank(c.BankAccts)
+	default:
+		return workload.NewTPCC(c.TPCC)
+	}
+}
+
+// TraceSample is one point of the Figure 11/12 traces.
+type TraceSample struct {
+	At            time.Duration
+	TPS           float64
+	Checkpointing bool
+}
+
+// RunResult reports one OLTP run.
+type RunResult struct {
+	Committed int64
+	Aborted   int64
+	Elapsed   time.Duration
+	// TPS is the overall committed throughput.
+	TPS float64
+	// Latency is end-to-end (submit to durability release); with logging
+	// off it is commit latency.
+	Latency *metrics.Histogram
+	// LogBytes is the total volume written to the devices by loggers and
+	// checkpointers.
+	LogBytes int64
+	Syncs    int64
+	Trace    []TraceSample
+
+	// Crash state for recovery experiments.
+	Devices []*simdisk.Device
+	cfg     RunConfig
+}
+
+// Run executes one OLTP run and leaves the devices crashed (durable
+// prefixes only), ready for recovery. With clean=true everything is flushed
+// before the crash, making recovery volume deterministic.
+func Run(cfg RunConfig, clean bool) (*RunResult, error) {
+	cfg = cfg.Defaults()
+	w := cfg.makeWorkload()
+	w.Populate(workload.DirectPopulate{})
+	mgr := txn.NewManager(w.DB(), txn.Config{
+		MultiVersion:  true,
+		EpochInterval: cfg.EpochInterval,
+		MaxRetries:    100000,
+	})
+	var devices []*simdisk.Device
+	for i := 0; i < cfg.Devices; i++ {
+		devices = append(devices, simdisk.New(fmt.Sprintf("ssd%d", i), cfg.DeviceConfig))
+	}
+	res := &RunResult{Latency: &metrics.Histogram{}, Devices: devices, cfg: cfg}
+
+	lcfg := wal.Config{
+		Kind:          cfg.Logging,
+		BatchEpochs:   cfg.BatchEpochs,
+		FlushInterval: cfg.EpochInterval / 4,
+		Sync:          !cfg.DisableSync,
+		OnRelease: func(cs []*txn.Committed) {
+			now := time.Now()
+			for _, c := range cs {
+				res.Latency.Record(now.Sub(c.Start))
+			}
+		},
+	}
+	ls := wal.NewLogSet(mgr, lcfg, devices)
+	mgr.StartEpochTicker()
+	ls.Start()
+
+	var daemon *checkpoint.Daemon
+	if cfg.CheckpointEvery > 0 {
+		daemon = checkpoint.NewDaemon(mgr, devices, checkpoint.Config{
+			Threads:      cfg.Devices,
+			IncludeSlots: cfg.Logging == wal.Physical,
+		}, cfg.CheckpointEvery)
+		daemon.Start()
+	}
+
+	var committed, aborted atomic.Int64
+	stop := make(chan struct{})
+	var txnBudget atomic.Int64
+	txnBudget.Store(int64(cfg.Txns))
+
+	var wg sync.WaitGroup
+	workers := make([]*txn.Worker, cfg.Workers)
+	for g := 0; g < cfg.Workers; g++ {
+		workers[g] = mgr.NewWorker()
+		ls.AttachWorker(workers[g])
+	}
+	start := time.Now()
+	for g := 0; g < cfg.Workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wkr := workers[g]
+			defer wkr.Retire()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7919))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if cfg.Txns > 0 && txnBudget.Add(-1) < 0 {
+					return
+				}
+				tx := w.Generate(rng)
+				adhoc := !tx.ReadOnly && cfg.AdHocPct > 0 && rng.Intn(100) < cfg.AdHocPct
+				txnStart := time.Now()
+				_, err := wkr.Execute(tx.Proc, tx.Args, adhoc, txnStart)
+				switch {
+				case err == nil:
+					committed.Add(1)
+					// Durable transactions get their end-to-end latency from
+					// the release callback; unlogged ones finish at commit.
+					if cfg.Logging == wal.Off || tx.ReadOnly {
+						res.Latency.Record(time.Since(txnStart))
+					}
+				case tx.MayAbort && errors.Is(err, proc.ErrAborted):
+					aborted.Add(1)
+				default:
+					// OCC exhaustion or bug: record and stop this worker.
+					aborted.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Throughput sampler.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(cfg.SampleEvery)
+		defer tick.Stop()
+		var last int64
+		for {
+			select {
+			case <-tick.C:
+				cur := committed.Load()
+				res.Trace = append(res.Trace, TraceSample{
+					At:            time.Since(start),
+					TPS:           float64(cur-last) / cfg.SampleEvery.Seconds(),
+					Checkpointing: daemon != nil && daemon.Running(),
+				})
+				last = cur
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	if cfg.Duration > 0 {
+		time.Sleep(cfg.Duration)
+	}
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	if daemon != nil {
+		daemon.Stop()
+	}
+	if clean {
+		mgr.AdvanceEpoch()
+		mgr.Stop()
+		ls.Close()
+	} else {
+		mgr.Stop()
+		ls.Abort()
+	}
+	stats := simdisk.PoolOf(devices...).Stats()
+	res.LogBytes = stats.BytesWritten
+	res.Syncs = stats.Syncs
+	res.Committed = committed.Load()
+	res.Aborted = aborted.Load()
+	res.TPS = float64(res.Committed) / res.Elapsed.Seconds()
+	for _, d := range devices {
+		d.Crash()
+	}
+	<-samplerDone
+	return res, nil
+}
+
+// FreshRecovery builds a fresh populated instance of the run's workload and
+// recovers it from the run's devices.
+func (r *RunResult) FreshRecovery(scheme recovery.Scheme, threads int, mod func(*recovery.Options)) (*recovery.Result, error) {
+	w := r.cfg.makeWorkload()
+	w.Populate(workload.DirectPopulate{})
+	opts := recovery.Options{
+		Scheme:   scheme,
+		DB:       w.DB(),
+		Registry: w.Registry(),
+		Devices:  r.Devices,
+		Threads:  threads,
+	}
+	if scheme == recovery.CLRP {
+		opts.GDG = PacmanGDG(w)
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	return recovery.Run(opts)
+}
+
+// loggingProcs returns the log-generating procedures of a workload.
+func loggingProcs(w workload.Workload) []*proc.Compiled {
+	type hasLogging interface{ LoggingProcs() []*proc.Compiled }
+	if h, ok := w.(hasLogging); ok {
+		return h.LoggingProcs()
+	}
+	var out []*proc.Compiled
+	for _, c := range w.Registry().All() {
+		for _, op := range c.Ops() {
+			if op.Kind.IsModification() {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PacmanGDG builds the PACMAN dependency graph of a workload.
+func PacmanGDG(w workload.Workload) *analysis.GDG {
+	var ldgs []*analysis.LDG
+	for _, c := range loggingProcs(w) {
+		ldgs = append(ldgs, analysis.BuildLDG(c))
+	}
+	return analysis.BuildGDG(ldgs)
+}
+
+// ChoppingGDG builds the transaction-chopping dependency graph (Figure 18's
+// baseline).
+func ChoppingGDG(w workload.Workload) *analysis.GDG {
+	return analysis.BuildGDG(chopping.Decompose(loggingProcs(w)))
+}
+
+// SnapshotTS returns a consistent snapshot timestamp covering everything
+// committed so far on a quiesced manager.
+func SnapshotTS(mgr *txn.Manager) engine.TS {
+	return engine.MakeTS(mgr.SafeEpoch(), ^uint32(0))
+}

@@ -1,0 +1,356 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pacman/internal/analysis"
+	"pacman/internal/checkpoint"
+	"pacman/internal/engine"
+	"pacman/internal/recovery"
+	"pacman/internal/sched"
+	"pacman/internal/simdisk"
+	"pacman/internal/txn"
+	"pacman/internal/wal"
+	"pacman/internal/workload"
+)
+
+// schemeRow pairs a recovery scheme with the logging run feeding it.
+var allSchemes = []recovery.Scheme{
+	recovery.PLR, recovery.LLR, recovery.LLRP, recovery.CLR, recovery.CLRP,
+}
+
+// prepared holds one crashed logging run per log kind, shared by the
+// recovery sweeps so every scheme replays the same history.
+type prepared struct {
+	runs map[wal.Kind]*RunResult
+}
+
+func prepare(s Scale, wl WorkloadKind, adhoc int, withCkpt bool) (*prepared, error) {
+	p := &prepared{runs: map[wal.Kind]*RunResult{}}
+	for _, kind := range []wal.Kind{wal.Physical, wal.Logical, wal.Command} {
+		cfg := s.baseRun(kind, 2)
+		cfg.Workload = wl
+		cfg.DeviceConfig = simdisk.Unlimited() // recovery experiments isolate replay CPU
+		cfg.AdHocPct = adhoc
+		if wl == Smallbank {
+			cfg.SB = workload.DefaultSmallbankConfig()
+		}
+		if withCkpt {
+			cfg.CheckpointEvery = s.Duration / 2
+		}
+		res, err := Run(cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		p.runs[kind] = res
+	}
+	return p, nil
+}
+
+func (p *prepared) forScheme(sch recovery.Scheme) *RunResult {
+	return p.runs[sch.LogKind()]
+}
+
+// Fig13 reproduces Figure 13: checkpoint recovery (pure reload and overall)
+// per scheme across recovery threads.
+func Fig13(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 13: checkpoint recovery ===")
+	// Build one checkpoint per checkpoint flavor over a populated TPC-C.
+	cfg := s.tpcc()
+	cfg.CustomersPerDistrict *= 4 // grow the checkpoint so times are visible
+	mkCkpt := func(includeSlots bool) ([]*simdisk.Device, error) {
+		wl := workload.NewTPCC(cfg)
+		wl.Populate(workload.DirectPopulate{})
+		mgr := txn.NewManager(wl.DB(), txn.DefaultConfig())
+		devs := []*simdisk.Device{
+			simdisk.New("ssd0", simdisk.Unlimited()),
+			simdisk.New("ssd1", simdisk.Unlimited()),
+		}
+		_, err := checkpoint.Write(wl.DB(), devs, checkpoint.Config{
+			Threads: 2, IncludeSlots: includeSlots, ShardsPerTable: 8,
+		}, 1, engine.MakeTS(mgr.SafeEpoch(), ^uint32(0)))
+		return devs, err
+	}
+	slotDevs, err := mkCkpt(true)
+	if err != nil {
+		return err
+	}
+	plainDevs, err := mkCkpt(false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s", "threads")
+	for _, sch := range allSchemes {
+		fmt.Fprintf(w, " | %-21s", sch)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "")
+	for range allSchemes {
+		fmt.Fprintf(w, " | %10s %10s", "reload", "overall")
+	}
+	fmt.Fprintln(w)
+	for _, threads := range s.Threads {
+		fmt.Fprintf(w, "%-8d", threads)
+		for _, sch := range allSchemes {
+			devs := plainDevs
+			if sch == recovery.PLR {
+				devs = slotDevs
+			}
+			wl := workload.NewTPCC(cfg)
+			res, err := recovery.Run(recovery.Options{
+				Scheme: sch, DB: wl.DB(), Registry: wl.Registry(),
+				GDG: PacmanGDG(wl), Devices: devs, Threads: threads,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " | %10v %10v",
+				res.CheckpointReload.Round(time.Microsecond),
+				res.CheckpointTotal.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig14 reproduces Figure 14: log recovery (pure reload and overall) per
+// scheme across threads, over the same transaction history.
+func Fig14(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 14: log recovery ===")
+	p, err := prepare(s, TPCC, 0, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(history: %d committed transactions)\n", p.runs[wal.Command].Committed)
+	fmt.Fprintf(w, "%-8s", "threads")
+	for _, sch := range allSchemes {
+		fmt.Fprintf(w, " | %-21s", sch)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "")
+	for range allSchemes {
+		fmt.Fprintf(w, " | %10s %10s", "reload", "overall")
+	}
+	fmt.Fprintln(w)
+	for _, threads := range s.Threads {
+		fmt.Fprintf(w, "%-8d", threads)
+		for _, sch := range allSchemes {
+			if sch == recovery.CLR && threads > s.Threads[0] {
+				// CLR replays on one thread regardless; reuse column shape.
+				fmt.Fprintf(w, " | %10s %10s", "-", "-")
+				continue
+			}
+			res, err := p.forScheme(sch).FreshRecovery(sch, threads, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " | %10v %10v",
+				res.LogReload.Round(time.Microsecond),
+				res.LogTotal.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig15 reproduces Figure 15: PLR and LLR with and without per-tuple
+// latches across threads. (The no-latch configuration is unsafe and used
+// only to quantify the latching overhead, as in the paper.)
+func Fig15(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 15: latching bottleneck in tuple-level recovery ===")
+	p, err := prepare(s, TPCC, 0, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s | %-23s | %-23s\n", "", "PLR", "LLR")
+	fmt.Fprintf(w, "%-8s | %11s %11s | %11s %11s\n", "threads",
+		"latch", "no-latch", "latch", "no-latch")
+	for _, threads := range s.Threads {
+		fmt.Fprintf(w, "%-8d", threads)
+		for _, sch := range []recovery.Scheme{recovery.PLR, recovery.LLR} {
+			var with, without time.Duration
+			for _, disable := range []bool{false, true} {
+				res, err := p.forScheme(sch).FreshRecovery(sch, threads,
+					func(o *recovery.Options) { o.DisableLatches = disable })
+				if err != nil {
+					return err
+				}
+				if disable {
+					without = res.LogTotal
+				} else {
+					with = res.LogTotal
+				}
+			}
+			fmt.Fprintf(w, " | %11v %11v",
+				with.Round(time.Microsecond), without.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig16 reproduces Figure 16: overall recovery (checkpoint + log) with the
+// maximum thread count, for TPC-C and Smallbank.
+func Fig16(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 16: overall recovery performance ===")
+	threads := s.Threads[len(s.Threads)-1]
+	for _, wl := range []WorkloadKind{TPCC, Smallbank} {
+		p, err := prepare(s, wl, 0, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s (%d threads):\n", wl, threads)
+		for _, sch := range allSchemes {
+			res, err := p.forScheme(sch).FreshRecovery(sch, threads, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %-6v checkpoint %10v + log %12v = %12v\n",
+				sch, res.CheckpointTotal.Round(time.Microsecond),
+				res.LogTotal.Round(time.Microsecond),
+				(res.CheckpointTotal + res.LogTotal).Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+// Fig17 reproduces Figure 17: PACMAN recovery across the ad-hoc fraction.
+func Fig17(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 17: recovery with ad-hoc transactions (CLR-P) ===")
+	threads := s.Threads[len(s.Threads)-1]
+	for _, wl := range []WorkloadKind{TPCC, Smallbank} {
+		fmt.Fprintf(w, "%s (%d threads):\n", wl, threads)
+		for _, pct := range []int{0, 20, 40, 60, 80, 100} {
+			cfg := s.baseRun(wal.Command, 2)
+			cfg.Workload = wl
+			cfg.DeviceConfig = simdisk.Unlimited()
+			cfg.AdHocPct = pct
+			cfg.CheckpointEvery = s.Duration / 2
+			if wl == Smallbank {
+				cfg.SB = workload.DefaultSmallbankConfig()
+			}
+			run, err := Run(cfg, true)
+			if err != nil {
+				return err
+			}
+			res, err := run.FreshRecovery(recovery.CLRP, threads, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  ad-hoc %3d%%: checkpoint %10v + log %12v (%d entries)\n",
+				pct, res.CheckpointTotal.Round(time.Microsecond),
+				res.LogTotal.Round(time.Microsecond), res.Entries)
+		}
+	}
+	return nil
+}
+
+// Fig18 reproduces Figure 18: PACMAN's static analysis against transaction
+// chopping, dynamic analysis disabled, low thread counts.
+func Fig18(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 18: static analysis vs transaction chopping (dynamic disabled) ===")
+	p, err := prepare(s, TPCC, 0, false)
+	if err != nil {
+		return err
+	}
+	run := p.runs[wal.Command]
+	threads := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fmt.Fprintf(w, "%-8s | %14s | %14s\n", "threads", "PACMAN static", "chopping")
+	for _, th := range threads {
+		var pac, chop time.Duration
+		for i, gdgOf := range []func(workload.Workload) *analysis.GDG{PacmanGDG, ChoppingGDG} {
+			gdgOf := gdgOf
+			res, err := run.FreshRecovery(recovery.CLRP, th, func(o *recovery.Options) {
+				o.Mode = sched.StaticOnly
+				wl := run.cfg.makeWorkload()
+				o.GDG = gdgOf(wl)
+			})
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				pac = res.LogTotal
+			} else {
+				chop = res.LogTotal
+			}
+		}
+		fmt.Fprintf(w, "%-8d | %14v | %14v\n", th,
+			pac.Round(time.Microsecond), chop.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// Fig19 reproduces Figure 19: static-only vs synchronous vs pipelined
+// execution across threads.
+func Fig19(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 19: effectiveness of dynamic analysis (CLR-P) ===")
+	p, err := prepare(s, TPCC, 0, false)
+	if err != nil {
+		return err
+	}
+	run := p.runs[wal.Command]
+	fmt.Fprintf(w, "%-8s | %14s | %14s | %14s\n", "threads",
+		"pure static", "synchronous", "pipelined")
+	for _, th := range s.Threads {
+		var times [3]time.Duration
+		for i, mode := range []sched.Mode{sched.StaticOnly, sched.Synchronous, sched.Pipelined} {
+			res, err := run.FreshRecovery(recovery.CLRP, th, func(o *recovery.Options) {
+				o.Mode = mode
+			})
+			if err != nil {
+				return err
+			}
+			times[i] = res.LogTotal
+		}
+		fmt.Fprintf(w, "%-8d | %14v | %14v | %14v\n", th,
+			times[0].Round(time.Microsecond), times[1].Round(time.Microsecond),
+			times[2].Round(time.Microsecond))
+	}
+	return nil
+}
+
+// Fig20 reproduces Figure 20: the recovery-time breakdown of CLR-P.
+func Fig20(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 20: log recovery time breakdown (CLR-P, pipelined) ===")
+	p, err := prepare(s, TPCC, 0, false)
+	if err != nil {
+		return err
+	}
+	run := p.runs[wal.Command]
+	fmt.Fprintf(w, "%-8s | %12s %12s %12s %12s\n", "threads",
+		"useful work", "loading", "param check", "scheduling")
+	for _, th := range s.Threads {
+		bd := sched.NewBreakdown()
+		if _, err := run.FreshRecovery(recovery.CLRP, th, func(o *recovery.Options) {
+			o.Breakdown = bd
+		}); err != nil {
+			return err
+		}
+		shares := bd.Shares()
+		fmt.Fprintf(w, "%-8d |", th)
+		for _, ps := range shares {
+			fmt.Fprintf(w, " %11.1f%%", ps.Share*100)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig21 reproduces Figure 21 / Appendix C: the TPC-C global dependency
+// graph (full procedures, inserts included).
+func Fig21(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "=== Figure 21: TPC-C global dependency graph ===")
+	cfg := s.tpcc()
+	cfg.DisableInserts = false
+	wl := workload.NewTPCC(cfg)
+	var ldgs []*analysis.LDG
+	for _, c := range wl.LoggingProcs() {
+		l := analysis.BuildLDG(c)
+		ldgs = append(ldgs, l)
+		fmt.Fprint(w, l.String())
+	}
+	fmt.Fprint(w, analysis.BuildGDG(ldgs).String())
+	return nil
+}

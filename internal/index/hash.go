@@ -1,0 +1,130 @@
+package index
+
+import "sync"
+
+// HashMap is a sharded concurrent hash index over uint64 keys. Recovery
+// schemes use it for shuffle phases (LLR-P's table/key partitioning) and as
+// a cheaper unordered alternative to the B+tree where ordering is not
+// required.
+type HashMap[V any] struct {
+	shards []hashShard[V]
+	mask   uint64
+}
+
+type hashShard[V any] struct {
+	mu sync.RWMutex
+	m  map[uint64]V
+	_  [40]byte // pad to a cache line to avoid false sharing between shards
+}
+
+// NewHashMap creates a hash index with at least the given number of shards
+// (rounded up to a power of two; minimum 1).
+func NewHashMap[V any](shards int) *HashMap[V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	h := &HashMap[V]{shards: make([]hashShard[V], n), mask: uint64(n - 1)}
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64]V)
+	}
+	return h
+}
+
+// mix is a 64-bit finalizer (splitmix64) spreading adjacent keys across
+// shards.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (h *HashMap[V]) shard(k uint64) *hashShard[V] {
+	return &h.shards[mix(k)&h.mask]
+}
+
+// Get returns the value under k.
+func (h *HashMap[V]) Get(k uint64) (V, bool) {
+	s := h.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Insert stores v under k if absent and reports whether it inserted.
+func (h *HashMap[V]) Insert(k uint64, v V) bool {
+	s := h.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = v
+	return true
+}
+
+// Upsert stores v under k unconditionally.
+func (h *HashMap[V]) Upsert(k uint64, v V) {
+	s := h.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// GetOrInsert returns the value under k, creating it with mk if absent; the
+// bool reports whether it inserted. mk runs under the shard latch.
+func (h *HashMap[V]) GetOrInsert(k uint64, mk func() V) (V, bool) {
+	s := h.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[k]; ok {
+		return v, false
+	}
+	v := mk()
+	s.m[k] = v
+	return v, true
+}
+
+// Delete removes k and reports whether it was present.
+func (h *HashMap[V]) Delete(k uint64) bool {
+	s := h.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+// Len returns the total entry count. It latches each shard in turn, so the
+// result is only approximate under concurrent mutation.
+func (h *HashMap[V]) Len() int {
+	n := 0
+	for i := range h.shards {
+		h.shards[i].mu.RLock()
+		n += len(h.shards[i].m)
+		h.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry in unspecified order, stopping early if fn
+// returns false. Each shard is visited under its read latch.
+func (h *HashMap[V]) Range(fn func(k uint64, v V) bool) {
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}

@@ -1,0 +1,153 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHashMapBasic(t *testing.T) {
+	h := NewHashMap[string](4)
+	if _, ok := h.Get(1); ok {
+		t.Error("empty map returned value")
+	}
+	if !h.Insert(1, "a") || h.Insert(1, "b") {
+		t.Error("insert semantics broken")
+	}
+	if v, ok := h.Get(1); !ok || v != "a" {
+		t.Errorf("Get = %q,%v", v, ok)
+	}
+	h.Upsert(1, "c")
+	if v, _ := h.Get(1); v != "c" {
+		t.Error("upsert broken")
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Error("delete semantics broken")
+	}
+}
+
+func TestHashMapShardRounding(t *testing.T) {
+	for _, req := range []int{0, 1, 3, 4, 7, 64} {
+		h := NewHashMap[int](req)
+		n := len(h.shards)
+		if n&(n-1) != 0 || n < 1 || (req > 0 && n < req) {
+			t.Errorf("shards(%d) = %d, want power of two >= max(req,1)", req, n)
+		}
+	}
+}
+
+func TestHashMapGetOrInsert(t *testing.T) {
+	h := NewHashMap[int](4)
+	v, ins := h.GetOrInsert(5, func() int { return 10 })
+	if !ins || v != 10 {
+		t.Errorf("GetOrInsert = %d,%v", v, ins)
+	}
+	v, ins = h.GetOrInsert(5, func() int { return 20 })
+	if ins || v != 10 {
+		t.Errorf("second GetOrInsert = %d,%v", v, ins)
+	}
+}
+
+func TestHashMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHashMap[int](8)
+	oracle := map[uint64]int{}
+	for i := 0; i < 50_000; i++ {
+		k := uint64(rng.Intn(1000))
+		switch rng.Intn(4) {
+		case 0:
+			_, had := oracle[k]
+			if h.Insert(k, i) == had {
+				t.Fatal("insert disagrees with oracle")
+			}
+			if !had {
+				oracle[k] = i
+			}
+		case 1:
+			_, had := oracle[k]
+			if h.Delete(k) != had {
+				t.Fatal("delete disagrees with oracle")
+			}
+			delete(oracle, k)
+		case 2:
+			h.Upsert(k, i)
+			oracle[k] = i
+		default:
+			got, ok := h.Get(k)
+			want, wantOK := oracle[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatal("get disagrees with oracle")
+			}
+		}
+	}
+	if h.Len() != len(oracle) {
+		t.Fatalf("len %d != %d", h.Len(), len(oracle))
+	}
+	seen := 0
+	h.Range(func(k uint64, v int) bool {
+		if oracle[k] != v {
+			t.Fatalf("range: %d = %d, want %d", k, v, oracle[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(oracle) {
+		t.Fatalf("range visited %d of %d", seen, len(oracle))
+	}
+}
+
+func TestHashMapRangeEarlyStop(t *testing.T) {
+	h := NewHashMap[int](2)
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(i, int(i))
+	}
+	n := 0
+	h.Range(func(uint64, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestHashMapConcurrent(t *testing.T) {
+	h := NewHashMap[int](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20_000; i++ {
+				k := uint64(rng.Intn(2048))
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, w)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Len must equal what Range sees.
+	n := 0
+	h.Range(func(uint64, int) bool { n++; return true })
+	if n != h.Len() {
+		t.Fatalf("range %d != len %d", n, h.Len())
+	}
+}
+
+func BenchmarkHashMapGetParallel(b *testing.B) {
+	h := NewHashMap[int](64)
+	for i := uint64(0); i < 100_000; i++ {
+		h.Insert(i, int(i))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			h.Get(i % 100_000)
+			i++
+		}
+	})
+}

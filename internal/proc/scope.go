@@ -1,0 +1,185 @@
+package proc
+
+// Subtree scope analysis: a filtered (piece or group) walk may skip an
+// If/ForEach subtree entirely when (a) the filter selects none of the
+// operations inside it, and (b) no register defined inside it is used
+// outside it. Condition (b) guarantees skipping cannot change any value the
+// rest of the walk computes; condition (a) guarantees no operation is
+// missed. The walker checks (a) at run time against its filter; (b) is the
+// compile-time `escapes` flag computed here.
+//
+// This is a large constant-factor optimization for piece-wise replay: a
+// TPC-C NewOrder's district piece, for instance, never walks the item loop.
+
+// countRegUses counts ceReg references per register across the whole body.
+func countRegUses(body []cstmt, numRegs int) []int {
+	counts := make([]int, numRegs)
+	var expr func(e cexpr)
+	expr = func(e cexpr) {
+		switch e := e.(type) {
+		case ceReg:
+			counts[e.reg]++
+		case ceBin:
+			expr(e.l)
+			expr(e.r)
+		case ceNot:
+			expr(e.e)
+		}
+	}
+	var stmts func([]cstmt)
+	stmts = func(ss []cstmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case cRead:
+				expr(s.key)
+			case cWrite:
+				expr(s.key)
+				for _, cs := range s.sets {
+					expr(cs.val)
+				}
+			case cInsert:
+				expr(s.key)
+				for _, v := range s.vals {
+					expr(v)
+				}
+			case cDelete:
+				expr(s.key)
+			case cAssign:
+				expr(s.val)
+			case cIf:
+				expr(s.cond)
+				stmts(s.then)
+				stmts(s.els)
+			case cForEach:
+				stmts(s.body)
+			}
+		}
+	}
+	stmts(body)
+	return counts
+}
+
+// subtreeSummary accumulates a subtree's ops, defined registers, and
+// internal register-use counts.
+type subtreeSummary struct {
+	ops     []int
+	defined map[int]struct{}
+	uses    map[int]int
+}
+
+func (ss *subtreeSummary) define(reg int) {
+	if reg >= 0 {
+		ss.defined[reg] = struct{}{}
+	}
+}
+
+func (ss *subtreeSummary) expr(e cexpr) {
+	switch e := e.(type) {
+	case ceReg:
+		ss.uses[e.reg]++
+	case ceBin:
+		ss.expr(e.l)
+		ss.expr(e.r)
+	case ceNot:
+		ss.expr(e.e)
+	}
+}
+
+func (ss *subtreeSummary) stmts(body []cstmt) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case cRead:
+			ss.ops = append(ss.ops, s.op)
+			ss.define(s.dst)
+			ss.expr(s.key)
+		case cWrite:
+			ss.ops = append(ss.ops, s.op)
+			ss.expr(s.key)
+			for _, cs := range s.sets {
+				ss.expr(cs.val)
+			}
+		case cInsert:
+			ss.ops = append(ss.ops, s.op)
+			ss.expr(s.key)
+			for _, v := range s.vals {
+				ss.expr(v)
+			}
+		case cDelete:
+			ss.ops = append(ss.ops, s.op)
+			ss.expr(s.key)
+		case cAssign:
+			ss.define(s.dst)
+			ss.expr(s.val)
+		case cIf:
+			ss.expr(s.cond)
+			ss.stmts(s.then)
+			ss.stmts(s.els)
+		case cForEach:
+			ss.define(s.idxReg)
+			ss.define(s.valReg)
+			ss.stmts(s.body)
+		}
+	}
+}
+
+// summarize computes the scope of a subtree given global use counts.
+func summarize(bodies [][]cstmt, extraDefs []int, globalUse []int) subtreeScope {
+	ss := &subtreeSummary{defined: map[int]struct{}{}, uses: map[int]int{}}
+	for _, b := range bodies {
+		ss.stmts(b)
+	}
+	for _, r := range extraDefs {
+		ss.define(r)
+	}
+	sc := subtreeScope{ops: ss.ops}
+	for r := range ss.defined {
+		if globalUse[r] > ss.uses[r] {
+			sc.escapes = true
+			break
+		}
+	}
+	return sc
+}
+
+// finalizeScopes fills the scope summary of every If/ForEach node. Abort
+// statements inside a subtree force escapes (skipping could suppress an
+// abort the filtered ops depend on for control flow fidelity).
+func finalizeScopes(body []cstmt, globalUse []int) {
+	for i, s := range body {
+		switch n := s.(type) {
+		case cIf:
+			finalizeScopes(n.then, globalUse)
+			finalizeScopes(n.els, globalUse)
+			n.scope = summarize([][]cstmt{n.then, n.els}, nil, globalUse)
+			if containsAbort(n.then) || containsAbort(n.els) {
+				n.scope.escapes = true
+			}
+			body[i] = n
+		case cForEach:
+			finalizeScopes(n.body, globalUse)
+			n.scope = summarize([][]cstmt{n.body}, []int{n.idxReg, n.valReg}, globalUse)
+			if containsAbort(n.body) {
+				n.scope.escapes = true
+			}
+			body[i] = n
+		}
+	}
+}
+
+func containsAbort(body []cstmt) bool {
+	for _, s := range body {
+		switch s := s.(type) {
+		case cAbort:
+			return true
+		case cIf:
+			if containsAbort(s.then) || containsAbort(s.els) {
+				return true
+			}
+		case cForEach:
+			if containsAbort(s.body) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package proc
+
+import (
+	"testing"
+
+	"pacman/internal/engine"
+	"pacman/internal/tuple"
+)
+
+// bankDB builds the catalog of the paper's running example (Figures 2-4):
+// Family (spouse lookup), Current, Saving, and Stats.
+func bankDB(t testing.TB) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase()
+	db.MustAddTable(tuple.MustSchema("Family",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Spouse", tuple.KindInt)))
+	db.MustAddTable(tuple.MustSchema("Current",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)))
+	db.MustAddTable(tuple.MustSchema("Saving",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)))
+	db.MustAddTable(tuple.MustSchema("Stats",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Count", tuple.KindInt)))
+	return db
+}
+
+// transferProc is Figure 2's Transfer procedure. A spouse id of 0 plays the
+// role of the paper's "NULL".
+func transferProc() *Procedure {
+	return &Procedure{
+		Name:   "Transfer",
+		Params: []ParamDef{P("src"), P("amount")},
+		Body: []Stmt{
+			Read("dst", "Family", Pm("src"), "Spouse"),
+			If(Ne(V("dst"), CI(0)),
+				Read("srcVal", "Current", Pm("src"), "Value"),
+				Write("Current", Pm("src"), Set("Value", Sub(V("srcVal"), Pm("amount")))),
+				Read("dstVal", "Current", V("dst"), "Value"),
+				Write("Current", V("dst"), Set("Value", Add(V("dstVal"), Pm("amount")))),
+				Read("bonus", "Saving", Pm("src"), "Value"),
+				Write("Saving", Pm("src"), Set("Value", Add(V("bonus"), CI(1)))),
+			),
+		},
+	}
+}
+
+// depositProc is Figure 4's Deposit procedure.
+func depositProc() *Procedure {
+	return &Procedure{
+		Name:   "Deposit",
+		Params: []ParamDef{P("name"), P("amount"), P("nation")},
+		Body: []Stmt{
+			Read("tmp", "Current", Pm("name"), "Value"),
+			Write("Current", Pm("name"), Set("Value", Add(V("tmp"), Pm("amount")))),
+			If(Gt(Add(V("tmp"), Pm("amount")), CI(10000)),
+				Read("bonus", "Saving", Pm("name"), "Value"),
+				Write("Saving", Pm("name"), Set("Value", Add(V("bonus"), Mul(CF(0.02), V("tmp"))))),
+			),
+			If(Gt(Add(V("tmp"), Pm("amount")), CI(10000)),
+				Read("count", "Stats", Pm("nation"), "Count"),
+				Write("Stats", Pm("nation"), Set("Count", Add(V("count"), CI(1)))),
+			),
+		},
+	}
+}
+
+// directExec is an Executor applying operations straight to the engine with
+// no concurrency control (single-threaded tests only).
+type directExec struct {
+	ts engine.TS
+}
+
+func (e *directExec) Read(t *engine.Table, key uint64) (tuple.Tuple, error) {
+	r, ok := t.GetRow(key)
+	if !ok {
+		return nil, nil
+	}
+	return r.LatestData(), nil
+}
+
+func (e *directExec) Write(t *engine.Table, key uint64, up []ColUpdate) error {
+	r, _ := t.GetOrCreateRow(key)
+	old := r.LatestData()
+	next := make(tuple.Tuple, t.Schema().NumColumns())
+	copy(next, old)
+	for _, u := range up {
+		next[u.Col] = u.Val
+	}
+	e.ts++
+	r.Install(e.ts, next, false, true)
+	return nil
+}
+
+func (e *directExec) Insert(t *engine.Table, key uint64, vals tuple.Tuple) error {
+	r, _ := t.GetOrCreateRow(key)
+	e.ts++
+	r.Install(e.ts, vals.Clone(), false, true)
+	return nil
+}
+
+func (e *directExec) Delete(t *engine.Table, key uint64) error {
+	if r, ok := t.GetRow(key); ok {
+		e.ts++
+		r.Install(e.ts, nil, true, true)
+	}
+	return nil
+}
+
+// seedAccount installs an initial row.
+func seedAccount(t *engine.Table, key uint64, vals ...tuple.Value) {
+	r, _ := t.GetOrCreateRow(key)
+	r.Install(engine.MakeTS(0, 1), tuple.Tuple(vals), false, true)
+}
+
+func currentVal(t testing.TB, tb *engine.Table, key uint64) int64 {
+	t.Helper()
+	r, ok := tb.GetRow(key)
+	if !ok {
+		t.Fatalf("row %d missing in %s", key, tb.Name())
+	}
+	d := r.LatestData()
+	if d == nil {
+		t.Fatalf("row %d deleted in %s", key, tb.Name())
+	}
+	return d[1].Int()
+}

@@ -1,0 +1,56 @@
+package recovery
+
+import (
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/tuple"
+)
+
+// serialExec applies stored-procedure operations directly to the engine for
+// the single-threaded CLR replay: no latching, single-version installs at
+// the replayed transaction's commit timestamp.
+type serialExec struct {
+	db *engine.Database
+	ts engine.TS
+}
+
+// Read returns the currently replayed value.
+func (e *serialExec) Read(t *engine.Table, key uint64) (tuple.Tuple, error) {
+	row, ok := t.GetRow(key)
+	if !ok {
+		return nil, nil
+	}
+	return row.LatestData(), nil
+}
+
+// Write merges column updates over the replayed state.
+func (e *serialExec) Write(t *engine.Table, key uint64, up []proc.ColUpdate) error {
+	row, _ := t.GetOrCreateRow(key)
+	base := row.LatestData()
+	next := make(tuple.Tuple, t.Schema().NumColumns())
+	copy(next, base)
+	for _, u := range up {
+		if u.Col < len(next) {
+			next[u.Col] = u.Val
+		}
+	}
+	row.Install(e.ts, next, false, false)
+	return nil
+}
+
+// Insert stores a full row image.
+func (e *serialExec) Insert(t *engine.Table, key uint64, vals tuple.Tuple) error {
+	row, _ := t.GetOrCreateRow(key)
+	row.Install(e.ts, vals.Clone(), false, false)
+	return nil
+}
+
+// Delete installs a tombstone.
+func (e *serialExec) Delete(t *engine.Table, key uint64) error {
+	row, ok := t.GetRow(key)
+	if !ok {
+		return nil
+	}
+	row.Install(e.ts, nil, true, false)
+	return nil
+}

@@ -1,0 +1,489 @@
+// Package recovery implements the five database recovery schemes of the
+// paper's evaluation (Section 6.2):
+//
+//	PLR   — physical log recovery: parallel last-writer-wins replay by
+//	        physical address with per-tuple latches; indexes rebuilt in
+//	        parallel after replay.
+//	LLR   — SiloR-style logical log recovery: parallel replay by key with
+//	        per-tuple latches; versions spliced in timestamp order; indexes
+//	        built inline; recovered state multi-versioned.
+//	LLR-P — PACMAN-adapted logical recovery (Section 4.5): writes shuffled
+//	        by (table, key) into per-thread partitions, reinstalled
+//	        latch-free in commit order; single-versioned.
+//	CLR   — conventional command log recovery: parallel reload, then a
+//	        single thread re-executes transactions in commit order.
+//	CLR-P — PACMAN: the sched.Replayer with static + dynamic analysis.
+//
+// Every scheme shares the same two-stage structure: checkpoint recovery
+// (restore the latest consistent checkpoint, Section 2.3), then log
+// recovery streamed batch-by-batch with parallel file reloading.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"time"
+
+	"pacman/internal/analysis"
+	"pacman/internal/checkpoint"
+	"pacman/internal/engine"
+	"pacman/internal/metrics"
+	"pacman/internal/proc"
+	"pacman/internal/sched"
+	"pacman/internal/simdisk"
+	"pacman/internal/wal"
+)
+
+// Scheme identifies a recovery scheme.
+type Scheme int
+
+// The five evaluated schemes.
+const (
+	PLR Scheme = iota
+	LLR
+	LLRP
+	CLR
+	CLRP
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case PLR:
+		return "PLR"
+	case LLR:
+		return "LLR"
+	case LLRP:
+		return "LLR-P"
+	case CLR:
+		return "CLR"
+	case CLRP:
+		return "CLR-P"
+	}
+	return "?"
+}
+
+// LogKind returns the logging scheme whose output this recovery scheme
+// replays.
+func (s Scheme) LogKind() wal.Kind {
+	switch s {
+	case PLR:
+		return wal.Physical
+	case LLR, LLRP:
+		return wal.Logical
+	default:
+		return wal.Command
+	}
+}
+
+// Options configures one recovery run.
+type Options struct {
+	Scheme   Scheme
+	DB       *engine.Database
+	Registry *proc.Registry
+	// GDG is required for CLR-P.
+	GDG     *analysis.GDG
+	Devices []*simdisk.Device
+	Threads int
+	// DisableLatches removes per-tuple latch acquisition in PLR/LLR — the
+	// deliberately unsafe configuration of Figure 15 used to isolate the
+	// latching bottleneck.
+	DisableLatches bool
+	// Mode selects the CLR-P parallelism level (Figures 18/19); defaults
+	// to Pipelined.
+	Mode sched.Mode
+	// Breakdown, if set, accumulates the Figure 20 phase split (CLR-P).
+	Breakdown *metrics.Breakdown
+	// SkipCheckpoint skips checkpoint recovery even if one exists (used by
+	// experiments that isolate log recovery).
+	SkipCheckpoint bool
+}
+
+// Result reports the phases of a recovery run, matching the splits the
+// paper's figures plot.
+type Result struct {
+	// Pepoch is the recovered persistent epoch.
+	Pepoch uint32
+	// CheckpointReload is the pure checkpoint file reloading time (Fig 13a).
+	CheckpointReload time.Duration
+	// CheckpointTotal is the full checkpoint recovery time including row
+	// installation and (inline) index building (Fig 13b).
+	CheckpointTotal time.Duration
+	CheckpointRows  int64
+	// LogReload is cumulative time spent reading and decoding log files
+	// (Fig 14a).
+	LogReload time.Duration
+	// LogTotal is the overall log recovery duration including replay and,
+	// for PLR, the deferred index rebuild (Fig 14b).
+	LogTotal time.Duration
+	// IndexRebuild is PLR's post-replay index reconstruction component.
+	IndexRebuild time.Duration
+	Entries      int
+	LogBytes     int64
+	TornFiles    int
+}
+
+// Run performs a full database recovery. The catalog must already hold the
+// workload's schema; when no checkpoint exists the caller must have
+// installed the deterministic initial population beforehand.
+func Run(opts Options) (*Result, error) {
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.Mode == 0 && opts.Scheme == CLRP {
+		opts.Mode = sched.Pipelined
+	}
+	res := &Result{}
+
+	// Persistent epoch: the durability cut.
+	pe, err := wal.ReadPepoch(opts.Devices[0])
+	if err != nil {
+		if !errors.Is(err, simdisk.ErrNotExist) {
+			return nil, err
+		}
+		pe = 0
+	}
+	res.Pepoch = pe
+
+	// Stage 1: checkpoint recovery.
+	var ckptTS engine.TS
+	if !opts.SkipCheckpoint {
+		man, err := checkpoint.FindLatest(opts.Devices)
+		if err != nil {
+			return nil, err
+		}
+		if man != nil {
+			start := time.Now()
+			deferIndex := opts.Scheme == PLR
+			stats, err := checkpoint.Restore(opts.DB, opts.Devices, man, opts.Threads, deferIndex)
+			if err != nil {
+				return nil, err
+			}
+			res.CheckpointTotal = time.Since(start)
+			res.CheckpointReload = stats.ReloadTime
+			res.CheckpointRows = stats.Rows
+			ckptTS = man.TS
+		}
+	}
+
+	// Stage 2: log recovery.
+	start := time.Now()
+	if err := replayLog(opts, pe, ckptTS, res); err != nil {
+		return nil, err
+	}
+	// PLR rebuilds all indexes at the end of log recovery (Section 2.3).
+	if opts.Scheme == PLR {
+		ixStart := time.Now()
+		rebuildIndexes(opts.DB, opts.Threads)
+		res.IndexRebuild = time.Since(ixStart)
+	}
+	res.LogTotal = time.Since(start)
+	if opts.Breakdown != nil {
+		opts.Breakdown.Add(sched.PhaseLoad, res.LogReload)
+	}
+	return res, nil
+}
+
+// replayLog streams batches: a producer reloads and decodes files while the
+// scheme-specific consumer replays them.
+func replayLog(opts Options, pepoch uint32, ckptTS engine.TS, res *Result) error {
+	batches, err := wal.Discover(opts.Devices)
+	if err != nil {
+		return err
+	}
+
+	feed := make(chan batchLoad, 2)
+	var reloadTime time.Duration
+	var mu sync.Mutex
+	go func() {
+		defer close(feed)
+		for _, bf := range batches {
+			t0 := time.Now()
+			entries, stats, err := wal.ReloadBatch(bf, pepoch, opts.Threads)
+			mu.Lock()
+			reloadTime += time.Since(t0)
+			res.LogBytes += stats.Bytes
+			res.TornFiles += stats.TornFiles
+			mu.Unlock()
+			// Entries already covered by the checkpoint are skipped.
+			if ckptTS > 0 {
+				kept := entries[:0]
+				for _, e := range entries {
+					if e.TS > ckptTS {
+						kept = append(kept, e)
+					}
+				}
+				entries = kept
+			}
+			feed <- batchLoad{entries: entries, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var replayErr error
+	switch opts.Scheme {
+	case PLR:
+		replayErr = replayPhysical(opts, feed, res)
+	case LLR:
+		replayErr = replayLogical(opts, feed, res)
+	case LLRP:
+		replayErr = replayLogicalPartitioned(opts, feed, res)
+	case CLR:
+		replayErr = replaySerialCommand(opts, feed, res)
+	case CLRP:
+		replayErr = replayPACMAN(opts, feed, res)
+	default:
+		replayErr = fmt.Errorf("recovery: unknown scheme %v", opts.Scheme)
+	}
+	mu.Lock()
+	res.LogReload = reloadTime
+	mu.Unlock()
+	return replayErr
+}
+
+// replayPhysical: last-writer-wins by physical slot, latched, parallel
+// across entries; indexes deferred.
+func replayPhysical(opts Options, feed <-chan batchLoad, res *Result) error {
+	return consumeParallel(opts, feed, res, func(e *wal.Entry) error {
+		for _, w := range e.Writes {
+			t := opts.DB.TableByID(w.TableID)
+			if t == nil {
+				return fmt.Errorf("recovery: unknown table %d", w.TableID)
+			}
+			row := t.PlaceRowAt(w.Slot, w.Key)
+			if !opts.DisableLatches {
+				row.Lock()
+			}
+			row.InstallLWW(e.TS, w.After, w.Deleted)
+			if !opts.DisableLatches {
+				row.Unlock()
+			}
+		}
+		return nil
+	})
+}
+
+// replayLogical: SiloR-style parallel replay by key with latches and
+// timestamp-sorted version splicing; index built inline.
+func replayLogical(opts Options, feed <-chan batchLoad, res *Result) error {
+	return consumeParallel(opts, feed, res, func(e *wal.Entry) error {
+		for _, w := range e.Writes {
+			t := opts.DB.TableByID(w.TableID)
+			if t == nil {
+				return fmt.Errorf("recovery: unknown table %d", w.TableID)
+			}
+			row, _ := t.GetOrCreateRow(w.Key)
+			if !opts.DisableLatches {
+				row.Lock()
+			}
+			row.InsertVersionSorted(e.TS, w.After, w.Deleted)
+			if !opts.DisableLatches {
+				row.Unlock()
+			}
+		}
+		return nil
+	})
+}
+
+// batchLoad is one reloaded batch handed from the producer to a consumer.
+type batchLoad struct {
+	entries []*wal.Entry
+	err     error
+}
+
+// errOnce records the first error across workers.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// consumeParallel fans entries of each batch across Threads workers. Order
+// within a batch is irrelevant for PLR (LWW) and LLR (sorted splicing).
+func consumeParallel(opts Options, feed <-chan batchLoad, res *Result, apply func(*wal.Entry) error) error {
+	var eo errOnce
+	for batch := range feed {
+		if batch.err != nil {
+			return batch.err
+		}
+		res.Entries += len(batch.entries)
+		var wg sync.WaitGroup
+		n := opts.Threads
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(batch.entries); i += n {
+					eo.set(apply(batch.entries[i]))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := eo.get(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var shuffleSeed = maphash.MakeSeed()
+
+// replayLogicalPartitioned: LLR-P. Writes are shuffled by (table, key) to
+// per-thread partitions and each partition reinstalls its keys' writes in
+// commit order, latch-free (Section 4.5 / Section 6.2's LLR-P).
+func replayLogicalPartitioned(opts Options, feed <-chan batchLoad, res *Result) error {
+	n := opts.Threads
+	for batch := range feed {
+		if batch.err != nil {
+			return batch.err
+		}
+		res.Entries += len(batch.entries)
+		// Shuffle phase: per-partition write lists in commit order.
+		parts := make([][]partWrite, n)
+		for _, e := range batch.entries {
+			for i := range e.Writes {
+				w := &e.Writes[i]
+				p := int(hashTableKey(w.TableID, w.Key) % uint64(n))
+				parts[p] = append(parts[p], partWrite{ts: e.TS, w: w})
+			}
+		}
+		// Reinstall phase: latch-free, each key owned by one partition.
+		var wg sync.WaitGroup
+		var eo errOnce
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for _, pw := range parts[p] {
+					t := opts.DB.TableByID(pw.w.TableID)
+					if t == nil {
+						eo.set(fmt.Errorf("recovery: unknown table %d", pw.w.TableID))
+						return
+					}
+					row, _ := t.GetOrCreateRow(pw.w.Key)
+					row.Install(pw.ts, pw.w.After, pw.w.Deleted, false)
+				}
+			}(p)
+		}
+		wg.Wait()
+		if err := eo.get(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type partWrite struct {
+	ts engine.TS
+	w  *wal.WriteImage
+}
+
+func hashTableKey(table int, key uint64) uint64 {
+	var h maphash.Hash
+	h.SetSeed(shuffleSeed)
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(table) >> (8 * i))
+		buf[8+i] = byte(key >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// replaySerialCommand: CLR. One thread re-executes committed transactions
+// in commit order; ad-hoc tuple entries reinstall their images.
+func replaySerialCommand(opts Options, feed <-chan batchLoad, res *Result) error {
+	ex := &serialExec{db: opts.DB}
+	for batch := range feed {
+		if batch.err != nil {
+			return batch.err
+		}
+		res.Entries += len(batch.entries)
+		for _, e := range batch.entries {
+			switch e.Kind {
+			case wal.EntryCommand:
+				c := opts.Registry.ByID(e.ProcID)
+				if c == nil {
+					return fmt.Errorf("recovery: unknown procedure %d", e.ProcID)
+				}
+				ex.ts = e.TS
+				if err := c.Execute(e.Args, ex); err != nil {
+					return err
+				}
+			case wal.EntryTuple:
+				for _, w := range e.Writes {
+					t := opts.DB.TableByID(w.TableID)
+					row, _ := t.GetOrCreateRow(w.Key)
+					row.Install(e.TS, w.After, w.Deleted, false)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// replayPACMAN: CLR-P through the scheduler.
+func replayPACMAN(opts Options, feed <-chan batchLoad, res *Result) error {
+	if opts.GDG == nil {
+		return fmt.Errorf("recovery: CLR-P requires a GDG")
+	}
+	r := sched.New(opts.GDG, opts.Registry, opts.DB, sched.Options{
+		Threads:   opts.Threads,
+		Mode:      opts.Mode,
+		Breakdown: opts.Breakdown,
+	})
+	r.Start()
+	for batch := range feed {
+		if batch.err != nil {
+			r.Finish()
+			return batch.err
+		}
+		res.Entries += len(batch.entries)
+		r.Submit(batch.entries)
+	}
+	return r.Finish()
+}
+
+// rebuildIndexes rebuilds every table's primary index from the slab in
+// parallel slot ranges (PLR's deferred reconstruction).
+func rebuildIndexes(db *engine.Database, threads int) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, threads)
+	for _, t := range db.Tables() {
+		n := t.NumSlots()
+		per := (n + uint64(threads) - 1) / uint64(threads)
+		if per == 0 {
+			continue
+		}
+		for lo := uint64(0); lo < n; lo += per {
+			hi := lo + per
+			wg.Add(1)
+			go func(t *engine.Table, lo, hi uint64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t.ReindexSlots(lo, hi)
+			}(t, lo, hi)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,353 @@
+// Package simdisk provides a simulated storage device: an in-memory file
+// store with a configurable sequential-bandwidth and fsync-latency model.
+//
+// The PACMAN paper's logging experiments (Figure 11, Tables 2 and 3) are
+// driven by SSD characteristics — sequential write bandwidth saturating
+// under tuple-level logging, and fsync latency dominating commit latency.
+// Real disks make those experiments irreproducible across machines, so this
+// package substitutes a deterministic model:
+//
+//   - Each Device serializes its operations through a single queue, like a
+//     saturated disk: a write of n bytes occupies the device for
+//     n/bandwidth seconds, and callers sleep until their operation's
+//     position in the queue completes. Two loggers sharing one device
+//     therefore each see half the bandwidth — the effect behind the
+//     paper's one-SSD vs two-SSD comparison.
+//   - Sync adds the configured fsync latency and marks the current file
+//     length durable.
+//   - Crash discards all non-durable bytes (everything written after the
+//     last Sync), so recovery code sees honest torn tails.
+//
+// Bandwidth 0 disables the bandwidth model (infinite speed); latency 0
+// disables the fsync model. Counters report bytes moved and syncs issued
+// for the Table 2 bandwidth accounting.
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes a device's performance model.
+type Config struct {
+	// ReadBandwidth and WriteBandwidth are bytes per second of sequential
+	// transfer; 0 means unlimited.
+	ReadBandwidth  int64
+	WriteBandwidth int64
+	// SyncLatency is the time one Sync occupies the device; 0 means free.
+	SyncLatency time.Duration
+}
+
+// DefaultSSD mirrors the paper's testbed device: 550 MB/s sequential read,
+// 520 MB/s sequential write (Section 6), with a typical SATA-SSD fsync cost.
+func DefaultSSD() Config {
+	return Config{
+		ReadBandwidth:  550 << 20,
+		WriteBandwidth: 520 << 20,
+		SyncLatency:    300 * time.Microsecond,
+	}
+}
+
+// Unlimited disables all performance modeling; useful for algorithm-only
+// experiments and most tests.
+func Unlimited() Config { return Config{} }
+
+// Device is a simulated disk holding named append-only files.
+type Device struct {
+	name string
+	cfg  Config
+
+	qmu  sync.Mutex // serializes the device's service queue
+	free time.Time  // when the device next becomes idle
+
+	mu    sync.Mutex // guards files
+	files map[string]*file
+
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+	syncs        atomic.Int64
+	busy         atomic.Int64 // nanoseconds of modeled service time
+}
+
+type file struct {
+	mu      sync.Mutex
+	data    []byte
+	durable int // bytes guaranteed to survive Crash
+}
+
+// New creates an empty device with the given performance model.
+func New(name string, cfg Config) *Device {
+	return &Device{name: name, cfg: cfg, files: make(map[string]*file)}
+}
+
+// Name returns the device's label.
+func (d *Device) Name() string { return d.name }
+
+// Stats reports cumulative traffic counters.
+type Stats struct {
+	BytesWritten int64
+	BytesRead    int64
+	Syncs        int64
+	// Busy is the total modeled service time; Busy/elapsed approximates
+	// utilization.
+	Busy time.Duration
+}
+
+// Stats returns the device's cumulative traffic counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		BytesWritten: d.bytesWritten.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		Syncs:        d.syncs.Load(),
+		Busy:         time.Duration(d.busy.Load()),
+	}
+}
+
+// ResetStats zeroes the traffic counters (not the files).
+func (d *Device) ResetStats() {
+	d.bytesWritten.Store(0)
+	d.bytesRead.Store(0)
+	d.syncs.Store(0)
+	d.busy.Store(0)
+}
+
+// occupy reserves dur of device time and sleeps until the reservation
+// completes, modeling a single-queue device.
+func (d *Device) occupy(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	d.busy.Add(int64(dur))
+	d.qmu.Lock()
+	now := time.Now()
+	if d.free.Before(now) {
+		d.free = now
+	}
+	d.free = d.free.Add(dur)
+	wait := d.free.Sub(now)
+	d.qmu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+func transferTime(n int64, bw int64) time.Duration {
+	if bw <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(bw) * float64(time.Second))
+}
+
+func (d *Device) getFile(name string) (*file, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	return f, ok
+}
+
+// Create creates (or truncates) a named file and returns a writer for it.
+func (d *Device) Create(name string) *Writer {
+	d.mu.Lock()
+	f := &file{}
+	d.files[name] = f
+	d.mu.Unlock()
+	return &Writer{dev: d, f: f}
+}
+
+// ErrNotExist is returned when opening or removing a missing file.
+var ErrNotExist = errors.New("simdisk: file does not exist")
+
+// Open returns a reader over the named file's durable prefix plus any bytes
+// written since (i.e., the current contents — crash truncation happens at
+// Crash time, not read time).
+func (d *Device) Open(name string) (*Reader, error) {
+	f, ok := d.getFile(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return &Reader{dev: d, f: f}, nil
+}
+
+// Remove deletes a file.
+func (d *Device) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(d.files, name)
+	return nil
+}
+
+// List returns the names of files with the given prefix, sorted.
+func (d *Device) List(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for n := range d.files {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the current length of the named file.
+func (d *Device) Size(name string) (int64, error) {
+	f, ok := d.getFile(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data)), nil
+}
+
+// Crash simulates a power failure: every file is truncated to its durable
+// (synced) length.
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		f.mu.Lock()
+		if f.durable < len(f.data) {
+			f.data = f.data[:f.durable]
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Writer appends to a file with the device's write-bandwidth model applied.
+type Writer struct {
+	dev *Device
+	f   *file
+}
+
+// Write appends p to the file. The caller is charged the modeled transfer
+// time. It never fails (the device is in-memory); the error is always nil
+// and present only to satisfy io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.f.mu.Lock()
+	w.f.data = append(w.f.data, p...)
+	w.f.mu.Unlock()
+	w.dev.bytesWritten.Add(int64(len(p)))
+	w.dev.occupy(transferTime(int64(len(p)), w.dev.cfg.WriteBandwidth))
+	return len(p), nil
+}
+
+// Sync makes all bytes written so far durable, charging the fsync latency.
+func (w *Writer) Sync() error {
+	w.f.mu.Lock()
+	w.f.durable = len(w.f.data)
+	w.f.mu.Unlock()
+	w.dev.syncs.Add(1)
+	w.dev.occupy(w.dev.cfg.SyncLatency)
+	return nil
+}
+
+// Size returns the current file length.
+func (w *Writer) Size() int64 {
+	w.f.mu.Lock()
+	defer w.f.mu.Unlock()
+	return int64(len(w.f.data))
+}
+
+// Reader reads a file with the device's read-bandwidth model applied.
+type Reader struct {
+	dev *Device
+	f   *file
+	off int
+}
+
+// Read implements io.Reader over the file contents.
+func (r *Reader) Read(p []byte) (int, error) {
+	r.f.mu.Lock()
+	n := copy(p, r.f.data[r.off:])
+	r.off += n
+	r.f.mu.Unlock()
+	if n == 0 {
+		return 0, io.EOF
+	}
+	r.dev.bytesRead.Add(int64(n))
+	r.dev.occupy(transferTime(int64(n), r.dev.cfg.ReadBandwidth))
+	return n, nil
+}
+
+// ReadAll returns the whole file, charging the modeled transfer time once.
+func (r *Reader) ReadAll() ([]byte, error) {
+	r.f.mu.Lock()
+	out := append([]byte(nil), r.f.data[r.off:]...)
+	r.off = len(r.f.data)
+	r.f.mu.Unlock()
+	r.dev.bytesRead.Add(int64(len(out)))
+	r.dev.occupy(transferTime(int64(len(out)), r.dev.cfg.ReadBandwidth))
+	return out, nil
+}
+
+// Pool is a set of devices used round-robin by logger and checkpoint
+// threads; it models the paper's "one thread per SSD" assignment.
+type Pool struct {
+	devs []*Device
+	next atomic.Int64
+}
+
+// NewPool builds a pool of n identically configured devices.
+func NewPool(n int, cfg Config) *Pool {
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		p.devs = append(p.devs, New(fmt.Sprintf("ssd%d", i), cfg))
+	}
+	return p
+}
+
+// PoolOf wraps existing devices.
+func PoolOf(devs ...*Device) *Pool { return &Pool{devs: devs} }
+
+// Get returns device i modulo the pool size.
+func (p *Pool) Get(i int) *Device { return p.devs[i%len(p.devs)] }
+
+// Next returns devices round-robin.
+func (p *Pool) Next() *Device {
+	i := p.next.Add(1) - 1
+	return p.devs[int(i)%len(p.devs)]
+}
+
+// Len returns the number of devices.
+func (p *Pool) Len() int { return len(p.devs) }
+
+// All returns the underlying devices.
+func (p *Pool) All() []*Device { return p.devs }
+
+// Crash crashes every device in the pool.
+func (p *Pool) Crash() {
+	for _, d := range p.devs {
+		d.Crash()
+	}
+}
+
+// Stats sums the stats of all devices.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, d := range p.devs {
+		ds := d.Stats()
+		s.BytesWritten += ds.BytesWritten
+		s.BytesRead += ds.BytesRead
+		s.Syncs += ds.Syncs
+		s.Busy += ds.Busy
+	}
+	return s
+}
+
+// ResetStats resets every device's counters.
+func (p *Pool) ResetStats() {
+	for _, d := range p.devs {
+		d.ResetStats()
+	}
+}

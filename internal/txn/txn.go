@@ -1,0 +1,509 @@
+// Package txn implements the OLTP execution path: a Silo-style optimistic
+// concurrency control protocol over the storage engine, an epoch manager,
+// and the per-worker commit buffers the loggers drain (the paper's
+// Appendix A logging pipeline, which follows SiloR).
+//
+// Protocol per transaction: reads record the observed version pointer;
+// writes are buffered. At commit the write rows are locked in (table, key)
+// order, a commit timestamp (epoch << 32 | global sequence) is drawn, the
+// read set is validated (same version still at the head, no foreign latch),
+// and the new versions are installed. Conflicting transactions therefore
+// serialize in timestamp order, which makes the timestamp order a correct
+// replay order for command logging.
+//
+// Durability is epoch-based group commit: a committed transaction's record
+// is buffered on its worker, tagged with its commit epoch; loggers steal
+// buffers and flush an epoch once no worker can still commit into it; the
+// result is released to the client only when the persistent epoch (pepoch)
+// covers it. Package wal implements the loggers; this package provides the
+// worker-side machinery (epoch marks and buffers).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/tuple"
+)
+
+// ErrConflict is returned when validation fails; the caller may retry.
+var ErrConflict = errors.New("txn: conflict, validation failed")
+
+// ErrDuplicateKey is returned by Insert when the key already holds a
+// visible row. It aborts the transaction.
+var ErrDuplicateKey = errors.New("txn: duplicate key")
+
+// Config tunes the transaction manager.
+type Config struct {
+	// MultiVersion retains version chains on update (required for
+	// consistent checkpointing to run concurrently with transactions).
+	MultiVersion bool
+	// EpochInterval is the group-commit epoch length. The paper's SiloR
+	// setup uses 40ms epochs; tests use much shorter ones.
+	EpochInterval time.Duration
+	// MaxRetries bounds OCC retries per transaction before giving up.
+	MaxRetries int
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{MultiVersion: true, EpochInterval: 10 * time.Millisecond, MaxRetries: 1000}
+}
+
+// WriteRec is one tuple modification of a committed transaction, in the
+// form the loggers serialize.
+type WriteRec struct {
+	Table   *engine.Table
+	Key     uint64
+	Slot    uint64
+	Deleted bool
+	After   tuple.Tuple
+}
+
+// Committed describes one committed transaction for the durability pipeline.
+type Committed struct {
+	TS    engine.TS
+	Epoch uint32
+	// Proc and Args identify the stored procedure invocation (command
+	// logging); Proc is nil only for direct ad-hoc writes.
+	Proc  *proc.Compiled
+	Args  proc.Args
+	AdHoc bool
+	// Writes is the transaction's write set in commit order (logical and
+	// physical logging; also used for ad-hoc replay under command logging).
+	Writes []WriteRec
+	// Start is when the client submitted the transaction; the harness uses
+	// it for end-to-end (post-fsync) latency.
+	Start time.Time
+}
+
+// Manager owns the epoch clock and global sequence and creates workers.
+type Manager struct {
+	db  *engine.Database
+	cfg Config
+
+	epoch atomic.Uint32
+	seq   atomic.Uint32
+
+	mu      sync.Mutex
+	workers []*Worker
+
+	stopped  atomic.Bool
+	stopCh   chan struct{}
+	tickerWG sync.WaitGroup
+}
+
+// NewManager creates a manager over the catalog. The epoch clock starts at
+// 1 (epoch 0 is reserved for initial population).
+func NewManager(db *engine.Database, cfg Config) *Manager {
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 1000
+	}
+	m := &Manager{db: db, cfg: cfg, stopCh: make(chan struct{})}
+	m.epoch.Store(1)
+	return m
+}
+
+// DB returns the catalog.
+func (m *Manager) DB() *engine.Database { return m.db }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Epoch returns the current epoch.
+func (m *Manager) Epoch() uint32 { return m.epoch.Load() }
+
+// AdvanceEpoch bumps the epoch clock by one (tests and manual control).
+func (m *Manager) AdvanceEpoch() uint32 { return m.epoch.Add(1) }
+
+// StartEpochTicker advances the epoch every Config.EpochInterval until Stop.
+func (m *Manager) StartEpochTicker() {
+	m.tickerWG.Add(1)
+	go func() {
+		defer m.tickerWG.Done()
+		t := time.NewTicker(m.cfg.EpochInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.epoch.Add(1)
+			case <-m.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the epoch ticker.
+func (m *Manager) Stop() {
+	if m.stopped.CompareAndSwap(false, true) {
+		close(m.stopCh)
+	}
+	m.tickerWG.Wait()
+}
+
+// NewWorker registers a new worker thread context.
+func (m *Manager) NewWorker() *Worker {
+	w := &Worker{mgr: m}
+	w.mark.Store(uint64(m.epoch.Load()))
+	m.mu.Lock()
+	w.id = len(m.workers)
+	m.workers = append(m.workers, w)
+	m.mu.Unlock()
+	return w
+}
+
+// Workers returns the registered workers.
+func (m *Manager) Workers() []*Worker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Worker(nil), m.workers...)
+}
+
+// SafeEpoch returns the highest epoch no worker can still commit into:
+// min over live workers of their epoch mark, minus one. Retired workers are
+// ignored; with every worker retired the whole current epoch is safe.
+// Loggers flush up to this epoch.
+func (m *Manager) SafeEpoch() uint32 {
+	m.mu.Lock()
+	ws := m.workers
+	m.mu.Unlock()
+	minMark := uint64(m.epoch.Load()) + 1
+	for _, w := range ws {
+		if mk := w.mark.Load(); mk < minMark {
+			minMark = mk
+		}
+	}
+	if minMark == 0 {
+		return 0
+	}
+	return uint32(minMark - 1)
+}
+
+// Worker is one transaction-execution thread's context: its epoch mark and
+// commit buffer.
+type Worker struct {
+	mgr *Manager
+	id  int
+
+	// mark is the lower bound on the epoch of any future commit by this
+	// worker; math.MaxUint32+? (stored as uint64) when retired.
+	mark atomic.Uint64
+
+	bufMu sync.Mutex
+	buf   []*Committed
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// retiredMark marks a worker as never committing again.
+const retiredMark = math.MaxUint64
+
+// Retire declares the worker finished; loggers no longer wait on it.
+func (w *Worker) Retire() { w.mark.Store(retiredMark) }
+
+// Heartbeat publishes the current epoch as the worker's mark. A worker with
+// no transaction in flight must heartbeat periodically (or Retire), or it
+// holds back the safe epoch and with it group commit — the same contract
+// SiloR places on its workers. Calling it mid-transaction is incorrect.
+func (w *Worker) Heartbeat() {
+	if w.mark.Load() != retiredMark {
+		w.mark.Store(uint64(w.mgr.epoch.Load()))
+	}
+}
+
+// Execute runs one stored-procedure transaction with OCC retries. It
+// returns the commit timestamp. The committed record (if logging needs it)
+// is buffered for the loggers. adHoc marks the transaction as not
+// command-loggable.
+func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start time.Time) (engine.TS, error) {
+	// Publish the epoch floor for this attempt; any commit that follows
+	// uses an epoch >= mark.
+	w.mark.Store(uint64(w.mgr.epoch.Load()))
+	for attempt := 0; ; attempt++ {
+		t := &T{mgr: w.mgr}
+		err := p.Execute(args, t)
+		if err == nil {
+			ts, cerr := t.commit()
+			if cerr == nil {
+				// Read-only transactions generate no log records (the paper
+				// ignores them in the analysis for the same reason).
+				if len(t.writes) > 0 {
+					w.bufMu.Lock()
+					w.buf = append(w.buf, &Committed{
+						TS:     ts,
+						Epoch:  engine.EpochOf(ts),
+						Proc:   p,
+						Args:   args,
+						AdHoc:  adHoc,
+						Writes: t.writeRecs(),
+						Start:  start,
+					})
+					w.bufMu.Unlock()
+				}
+				// The record is buffered; the mark may move up to the
+				// current epoch so group commit is not held back while the
+				// worker sits between transactions.
+				w.mark.Store(uint64(w.mgr.epoch.Load()))
+				return ts, nil
+			}
+			err = cerr
+		} else {
+			t.release()
+		}
+		if errors.Is(err, proc.ErrAborted) {
+			return 0, err
+		}
+		// A duplicate-key error can be a transient artifact of stale reads
+		// (e.g., two NewOrders racing on one district counter: the loser
+		// computed a key from an outdated read); retry like any conflict.
+		// Persistent duplicates exhaust MaxRetries and surface.
+		if !errors.Is(err, ErrConflict) && !errors.Is(err, ErrDuplicateKey) {
+			return 0, err
+		}
+		if attempt >= w.mgr.cfg.MaxRetries {
+			return 0, fmt.Errorf("%w (gave up after %d attempts)", ErrConflict, attempt)
+		}
+	}
+}
+
+// Drain removes and returns buffered commits with Epoch <= maxEpoch.
+func (w *Worker) Drain(maxEpoch uint32) []*Committed {
+	w.bufMu.Lock()
+	defer w.bufMu.Unlock()
+	if len(w.buf) == 0 {
+		return nil
+	}
+	var out, keep []*Committed
+	for _, c := range w.buf {
+		if c.Epoch <= maxEpoch {
+			out = append(out, c)
+		} else {
+			keep = append(keep, c)
+		}
+	}
+	w.buf = keep
+	return out
+}
+
+// BufferedLen returns the number of undarined commits (tests).
+func (w *Worker) BufferedLen() int {
+	w.bufMu.Lock()
+	defer w.bufMu.Unlock()
+	return len(w.buf)
+}
+
+// T is one transaction attempt. It implements proc.Executor.
+type T struct {
+	mgr    *Manager
+	reads  []readEnt
+	writes []writeEnt
+	wIdx   map[*engine.Row]int
+}
+
+type readEnt struct {
+	row      *engine.Row
+	observed *engine.Version
+}
+
+type writeEnt struct {
+	table   *engine.Table
+	key     uint64
+	row     *engine.Row
+	data    tuple.Tuple
+	deleted bool
+}
+
+func (t *T) recordRead(row *engine.Row, v *engine.Version) {
+	t.reads = append(t.reads, readEnt{row: row, observed: v})
+}
+
+func (t *T) pendingIdx(row *engine.Row) (int, bool) {
+	if t.wIdx == nil {
+		return 0, false
+	}
+	i, ok := t.wIdx[row]
+	return i, ok
+}
+
+func (t *T) buffer(tab *engine.Table, key uint64, row *engine.Row, data tuple.Tuple, deleted bool) {
+	if i, ok := t.pendingIdx(row); ok {
+		t.writes[i].data = data
+		t.writes[i].deleted = deleted
+		return
+	}
+	if t.wIdx == nil {
+		t.wIdx = make(map[*engine.Row]int)
+	}
+	t.wIdx[row] = len(t.writes)
+	t.writes = append(t.writes, writeEnt{table: tab, key: key, row: row, data: data, deleted: deleted})
+}
+
+// visible returns the currently visible tuple of a version head.
+func visible(v *engine.Version) tuple.Tuple {
+	if v == nil || v.Deleted {
+		return nil
+	}
+	return v.Data
+}
+
+// Read implements proc.Executor.
+func (t *T) Read(tab *engine.Table, key uint64) (tuple.Tuple, error) {
+	row, ok := tab.GetRow(key)
+	if !ok {
+		return nil, nil
+	}
+	if i, pend := t.pendingIdx(row); pend {
+		if t.writes[i].deleted {
+			return nil, nil
+		}
+		return t.writes[i].data, nil
+	}
+	head := row.Head()
+	t.recordRead(row, head)
+	return visible(head), nil
+}
+
+// Write implements proc.Executor: merge column updates over the current
+// value (upsert when absent).
+func (t *T) Write(tab *engine.Table, key uint64, up []proc.ColUpdate) error {
+	row, _ := tab.GetOrCreateRow(key)
+	var base tuple.Tuple
+	if i, pend := t.pendingIdx(row); pend {
+		if !t.writes[i].deleted {
+			base = t.writes[i].data
+		}
+	} else {
+		head := row.Head()
+		t.recordRead(row, head)
+		base = visible(head)
+	}
+	next := make(tuple.Tuple, tab.Schema().NumColumns())
+	copy(next, base)
+	for _, u := range up {
+		if u.Col < len(next) {
+			next[u.Col] = u.Val
+		}
+	}
+	t.buffer(tab, key, row, next, false)
+	return nil
+}
+
+// Insert implements proc.Executor.
+func (t *T) Insert(tab *engine.Table, key uint64, vals tuple.Tuple) error {
+	row, _ := tab.GetOrCreateRow(key)
+	if i, pend := t.pendingIdx(row); pend {
+		if !t.writes[i].deleted {
+			return ErrDuplicateKey
+		}
+	} else {
+		head := row.Head()
+		t.recordRead(row, head)
+		if visible(head) != nil {
+			return ErrDuplicateKey
+		}
+	}
+	t.buffer(tab, key, row, vals.Clone(), false)
+	return nil
+}
+
+// Delete implements proc.Executor.
+func (t *T) Delete(tab *engine.Table, key uint64) error {
+	row, ok := tab.GetRow(key)
+	if !ok {
+		return nil
+	}
+	if _, pend := t.pendingIdx(row); !pend {
+		t.recordRead(row, row.Head())
+	}
+	t.buffer(tab, key, row, nil, true)
+	return nil
+}
+
+// release drops buffers after an abort.
+func (t *T) release() {
+	t.reads = nil
+	t.writes = nil
+	t.wIdx = nil
+}
+
+// commit runs the OCC commit protocol and returns the commit timestamp.
+func (t *T) commit() (engine.TS, error) {
+	// Phase 1: lock the write set in (table, key) order — deadlock-free.
+	sort.Slice(t.writes, func(i, j int) bool {
+		a, b := &t.writes[i], &t.writes[j]
+		if a.table.ID() != b.table.ID() {
+			return a.table.ID() < b.table.ID()
+		}
+		return a.key < b.key
+	})
+	// wIdx is invalidated by the sort; it is not used past this point.
+	t.wIdx = nil
+	for i := range t.writes {
+		t.writes[i].row.Lock()
+	}
+	unlock := func() {
+		for i := range t.writes {
+			t.writes[i].row.Unlock()
+		}
+	}
+
+	// Phase 2: timestamp. Epoch is read inside the critical section so
+	// conflicting transactions get ordered timestamps.
+	ts := engine.MakeTS(t.mgr.epoch.Load(), t.mgr.seq.Add(1))
+
+	// Phase 3: validate reads.
+	inWrites := func(row *engine.Row) bool {
+		for i := range t.writes {
+			if t.writes[i].row == row {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range t.reads {
+		if r.row.Head() != r.observed {
+			unlock()
+			t.release()
+			return 0, ErrConflict
+		}
+		if !inWrites(r.row) && r.row.Locked() {
+			unlock()
+			t.release()
+			return 0, ErrConflict
+		}
+	}
+
+	// Phase 4: install and unlock.
+	retain := t.mgr.cfg.MultiVersion
+	for i := range t.writes {
+		w := &t.writes[i]
+		w.row.Install(ts, w.data, w.deleted, retain)
+	}
+	unlock()
+	return ts, nil
+}
+
+// writeRecs converts the installed writes to log form.
+func (t *T) writeRecs() []WriteRec {
+	out := make([]WriteRec, len(t.writes))
+	for i := range t.writes {
+		w := &t.writes[i]
+		out[i] = WriteRec{
+			Table:   w.table,
+			Key:     w.key,
+			Slot:    w.row.Slot,
+			Deleted: w.deleted,
+			After:   w.data,
+		}
+	}
+	return out
+}

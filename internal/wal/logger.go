@@ -1,0 +1,333 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman/internal/simdisk"
+	"pacman/internal/txn"
+)
+
+// Config tunes the logging subsystem.
+type Config struct {
+	Kind Kind
+	// BatchEpochs is the number of epochs per log batch file. The paper
+	// sets "the batch size to 100 epochs" (Appendix A.1).
+	BatchEpochs uint32
+	// FlushInterval is the logger poll period.
+	FlushInterval time.Duration
+	// Sync issues an fsync per flush (group commit). Disabling it models
+	// the Table 3 "w/o fsync" configuration.
+	Sync bool
+	// OnRelease, if set, is called with transactions whose results become
+	// releasable: their epoch is covered by the persistent epoch. The
+	// harness measures end-to-end latency here.
+	OnRelease func([]*txn.Committed)
+}
+
+// DefaultConfig returns the standard logging configuration for the given
+// scheme.
+func DefaultConfig(kind Kind) Config {
+	return Config{Kind: kind, BatchEpochs: 100, FlushInterval: time.Millisecond, Sync: true}
+}
+
+// BatchFileName names the batch file of a logger.
+func BatchFileName(loggerID int, batch uint32) string {
+	return fmt.Sprintf("log-%03d-%08d", loggerID, batch)
+}
+
+// PepochFileName is the persistent-epoch marker file.
+const PepochFileName = "pepoch.log"
+
+// LogSet is the logging subsystem: one logger goroutine per device, plus
+// the pepoch thread tracking the slowest logger (Appendix A.1).
+type LogSet struct {
+	mgr     *txn.Manager
+	cfg     Config
+	loggers []*Logger
+
+	pepoch    atomic.Uint32
+	pepochDev *simdisk.Device
+
+	stopCh  chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// Logger is one logging thread bound to one device, draining a subset of
+// workers.
+type Logger struct {
+	id  int
+	set *LogSet
+	dev *simdisk.Device
+
+	workers []*txn.Worker
+	wmu     sync.Mutex
+
+	persisted atomic.Uint32
+
+	// batch state
+	curBatch  uint32
+	curWriter *simdisk.Writer
+
+	// flushed-but-unreleased transactions, keyed by epoch order.
+	pendMu  sync.Mutex
+	pending []*txn.Committed
+}
+
+// NewLogSet builds a logging subsystem with one logger per device. With
+// Kind == Off it is inert (no goroutines, PersistedEpoch tracks SafeEpoch).
+func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet {
+	if cfg.BatchEpochs == 0 {
+		cfg.BatchEpochs = 100
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Millisecond
+	}
+	s := &LogSet{mgr: mgr, cfg: cfg, stopCh: make(chan struct{})}
+	if cfg.Kind == Off || len(devices) == 0 {
+		return s
+	}
+	s.pepochDev = devices[0]
+	for i, d := range devices {
+		s.loggers = append(s.loggers, &Logger{id: i, set: s, dev: d})
+	}
+	return s
+}
+
+// AttachWorker assigns a worker to a logger (round-robin). Workers must be
+// attached before Start.
+func (s *LogSet) AttachWorker(w *txn.Worker) {
+	if len(s.loggers) == 0 {
+		return
+	}
+	lg := s.loggers[w.ID()%len(s.loggers)]
+	lg.wmu.Lock()
+	lg.workers = append(lg.workers, w)
+	lg.wmu.Unlock()
+}
+
+// Start launches the logger and pepoch goroutines.
+func (s *LogSet) Start() {
+	for _, lg := range s.loggers {
+		s.wg.Add(1)
+		go func(lg *Logger) {
+			defer s.wg.Done()
+			t := time.NewTicker(s.cfg.FlushInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					lg.flush(s.mgr.SafeEpoch())
+				case <-s.stopCh:
+					return
+				}
+			}
+		}(lg)
+	}
+	if len(s.loggers) > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(s.cfg.FlushInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.updatePepoch()
+				case <-s.stopCh:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Close flushes everything outstanding (workers should be retired first so
+// the safe epoch covers all buffered commits) and stops the goroutines.
+func (s *LogSet) Close() {
+	if s.stopped.CompareAndSwap(false, true) {
+		close(s.stopCh)
+	}
+	s.wg.Wait()
+	safe := s.mgr.SafeEpoch()
+	for _, lg := range s.loggers {
+		lg.flush(safe)
+		lg.closeBatch()
+	}
+	s.updatePepoch()
+}
+
+// Abort stops the logger and pepoch goroutines without any final flush —
+// the logging pipeline's half of a simulated power failure. Crash tests
+// call Abort, then Device.Crash, so nothing writes "after" the failure.
+func (s *LogSet) Abort() {
+	if s.stopped.CompareAndSwap(false, true) {
+		close(s.stopCh)
+	}
+	s.wg.Wait()
+}
+
+// PersistedEpoch returns the current persistent epoch (pepoch): every
+// transaction with a commit epoch at or below it is durable on all loggers.
+func (s *LogSet) PersistedEpoch() uint32 {
+	if len(s.loggers) == 0 {
+		// Logging disabled: everything "persists" immediately.
+		return s.mgr.SafeEpoch()
+	}
+	return s.pepoch.Load()
+}
+
+// WaitForEpoch blocks until the persistent epoch reaches e (tests and
+// clean shutdown).
+func (s *LogSet) WaitForEpoch(e uint32) {
+	for s.PersistedEpoch() < e {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// updatePepoch recomputes the minimum persisted epoch, records it durably
+// in pepoch.log, and releases covered transactions.
+func (s *LogSet) updatePepoch() {
+	if len(s.loggers) == 0 {
+		return
+	}
+	pe := s.loggers[0].persisted.Load()
+	for _, lg := range s.loggers[1:] {
+		if p := lg.persisted.Load(); p < pe {
+			pe = p
+		}
+	}
+	if pe <= s.pepoch.Load() && pe != 0 {
+		return
+	}
+	if pe > s.pepoch.Load() {
+		w := s.pepochDev.Create(PepochFileName)
+		var buf [8]byte
+		binary.LittleEndian.PutUint32(buf[:4], pe)
+		binary.LittleEndian.PutUint32(buf[4:], pe^0xFFFFFFFF) // trivial check word
+		w.Write(buf[:])
+		w.Sync()
+		s.pepoch.Store(pe)
+	}
+	// Release covered transactions.
+	for _, lg := range s.loggers {
+		released := lg.takeReleased(pe)
+		if len(released) > 0 && s.cfg.OnRelease != nil {
+			s.cfg.OnRelease(released)
+		}
+	}
+}
+
+// ReadPepoch recovers the persistent epoch marker from a device.
+func ReadPepoch(dev *simdisk.Device) (uint32, error) {
+	r, err := dev.Open(PepochFileName)
+	if err != nil {
+		return 0, err
+	}
+	b, err := r.ReadAll()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < 8 {
+		return 0, fmt.Errorf("wal: pepoch.log truncated")
+	}
+	pe := binary.LittleEndian.Uint32(b)
+	if binary.LittleEndian.Uint32(b[4:])^0xFFFFFFFF != pe {
+		return 0, fmt.Errorf("wal: pepoch.log corrupt")
+	}
+	return pe, nil
+}
+
+// flush drains the logger's workers up to safeEpoch, appends the records to
+// the right batch files (in epoch order), and syncs once.
+func (lg *Logger) flush(safeEpoch uint32) {
+	lg.wmu.Lock()
+	workers := lg.workers
+	lg.wmu.Unlock()
+
+	var recs []*txn.Committed
+	for _, w := range workers {
+		recs = append(recs, w.Drain(safeEpoch)...)
+	}
+	if len(recs) == 0 {
+		// Even with nothing to write, the epoch may have advanced.
+		if safeEpoch > lg.persisted.Load() {
+			lg.persisted.Store(safeEpoch)
+		}
+		return
+	}
+	// Group records by batch and write batch-by-batch in order.
+	byBatch := make(map[uint32][]*txn.Committed)
+	var batches []uint32
+	for _, c := range recs {
+		b := c.Epoch / lg.set.cfg.BatchEpochs
+		if _, ok := byBatch[b]; !ok {
+			batches = append(batches, b)
+		}
+		byBatch[b] = append(byBatch[b], c)
+	}
+	// Sort batch IDs ascending (tiny slice).
+	for i := 1; i < len(batches); i++ {
+		for j := i; j > 0 && batches[j] < batches[j-1]; j-- {
+			batches[j], batches[j-1] = batches[j-1], batches[j]
+		}
+	}
+	var buf []byte
+	for _, b := range batches {
+		w := lg.writerFor(b)
+		buf = buf[:0]
+		for _, c := range byBatch[b] {
+			buf = encodeRecord(buf, lg.set.cfg.Kind, c)
+		}
+		w.Write(buf)
+	}
+	if lg.set.cfg.Sync && lg.curWriter != nil {
+		lg.curWriter.Sync()
+	}
+	lg.persisted.Store(safeEpoch)
+
+	lg.pendMu.Lock()
+	lg.pending = append(lg.pending, recs...)
+	lg.pendMu.Unlock()
+}
+
+// writerFor returns the writer of the given batch, rotating files as the
+// batch id advances.
+func (lg *Logger) writerFor(batch uint32) *simdisk.Writer {
+	if lg.curWriter != nil && lg.curBatch == batch {
+		return lg.curWriter
+	}
+	lg.closeBatch()
+	lg.curBatch = batch
+	lg.curWriter = lg.dev.Create(BatchFileName(lg.id, batch))
+	hdr := appendFileHeader(nil, lg.set.cfg.Kind, lg.id, batch)
+	lg.curWriter.Write(hdr)
+	return lg.curWriter
+}
+
+func (lg *Logger) closeBatch() {
+	if lg.curWriter != nil && lg.set.cfg.Sync {
+		lg.curWriter.Sync()
+	}
+	lg.curWriter = nil
+}
+
+// takeReleased removes and returns pending transactions with epoch <= pe.
+func (lg *Logger) takeReleased(pe uint32) []*txn.Committed {
+	lg.pendMu.Lock()
+	defer lg.pendMu.Unlock()
+	var out, keep []*txn.Committed
+	for _, c := range lg.pending {
+		if c.Epoch <= pe {
+			out = append(out, c)
+		} else {
+			keep = append(keep, c)
+		}
+	}
+	lg.pending = keep
+	return out
+}

@@ -1,0 +1,202 @@
+// Package workload defines the benchmark applications the evaluation runs:
+// the paper's running bank example (Figures 2-5), TPC-C (Section 6 and
+// Appendix C), and Smallbank. Each workload provides its catalog schema, its
+// stored procedures in the proc IR, a deterministic population step, and a
+// transaction-mix generator.
+package workload
+
+import (
+	"math/rand"
+
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/tuple"
+)
+
+// Txn is one generated transaction request: a procedure and its arguments.
+type Txn struct {
+	Proc *proc.Compiled
+	Args proc.Args
+	// AdHoc marks the transaction as issued outside stored procedures; the
+	// DBMS must then fall back to tuple-level logical logging (Section 4.5).
+	AdHoc bool
+	// ReadOnly marks transactions that generate no log records.
+	ReadOnly bool
+	// MayAbort marks transactions expected to roll back (e.g., TPC-C's 1%
+	// invalid-item NewOrders); the harness does not treat their abort as an
+	// error.
+	MayAbort bool
+}
+
+// Workload is the interface the harness drives.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// DB returns the catalog the workload was built against.
+	DB() *engine.Database
+	// Registry returns the workload's compiled procedures.
+	Registry() *proc.Registry
+	// Populate installs the initial database state. It must be
+	// deterministic: recovery rebuilds the pre-crash initial state by
+	// calling it again on a fresh catalog when no checkpoint is available.
+	Populate(exec PopulateExec)
+	// Generate returns the next transaction of the mix.
+	Generate(rng *rand.Rand) Txn
+}
+
+// PopulateExec installs initial rows. Implementations decide the timestamp
+// and versioning policy.
+type PopulateExec interface {
+	Seed(t *engine.Table, key uint64, vals tuple.Tuple)
+}
+
+// DirectPopulate is the standard PopulateExec: rows installed at the
+// initial timestamp (epoch 0), multi-version retained.
+type DirectPopulate struct{}
+
+// Seed installs one row at the population timestamp.
+func (DirectPopulate) Seed(t *engine.Table, key uint64, vals tuple.Tuple) {
+	r, _ := t.GetOrCreateRow(key)
+	r.Install(engine.MakeTS(0, 1), vals, false, true)
+}
+
+// Bank is the paper's running example: Transfer (Figure 2) and Deposit
+// (Figure 4) over Family, Current, Saving, and Stats tables. Static
+// analysis of this workload must yield exactly the paper's Figure 5.
+type Bank struct {
+	db  *engine.Database
+	reg *proc.Registry
+
+	// Transfer and Deposit are the two compiled procedures.
+	Transfer *proc.Compiled
+	Deposit  *proc.Compiled
+
+	// Accounts is the number of bank customers.
+	Accounts int
+	// Nations is the key space of the Stats table.
+	Nations int
+}
+
+// NewBank builds the bank catalog and compiles its procedures.
+func NewBank(accounts int) *Bank {
+	if accounts <= 0 {
+		accounts = 1000
+	}
+	b := &Bank{
+		db:       engine.NewDatabase(),
+		reg:      proc.NewRegistry(),
+		Accounts: accounts,
+		Nations:  50,
+	}
+	b.db.MustAddTable(tuple.MustSchema("Family",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Spouse", tuple.KindInt)))
+	b.db.MustAddTable(tuple.MustSchema("Current",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)))
+	b.db.MustAddTable(tuple.MustSchema("Saving",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)))
+	b.db.MustAddTable(tuple.MustSchema("Stats",
+		tuple.Col("id", tuple.KindInt), tuple.Col("Count", tuple.KindInt)))
+	b.Transfer = b.reg.MustRegister(b.db, BankTransferProc())
+	b.Deposit = b.reg.MustRegister(b.db, BankDepositProc())
+	return b
+}
+
+// BankTransferProc is Figure 2's Transfer. Account IDs start at 1; a spouse
+// value of 0 encodes the paper's "NULL".
+func BankTransferProc() *proc.Procedure {
+	return &proc.Procedure{
+		Name:   "Transfer",
+		Params: []proc.ParamDef{proc.P("src"), proc.P("amount")},
+		Body: []proc.Stmt{
+			proc.Read("dst", "Family", proc.Pm("src"), "Spouse"),
+			proc.If(proc.Ne(proc.V("dst"), proc.CI(0)),
+				proc.Read("srcVal", "Current", proc.Pm("src"), "Value"),
+				proc.Write("Current", proc.Pm("src"),
+					proc.Set("Value", proc.Sub(proc.V("srcVal"), proc.Pm("amount")))),
+				proc.Read("dstVal", "Current", proc.V("dst"), "Value"),
+				proc.Write("Current", proc.V("dst"),
+					proc.Set("Value", proc.Add(proc.V("dstVal"), proc.Pm("amount")))),
+				proc.Read("bonus", "Saving", proc.Pm("src"), "Value"),
+				proc.Write("Saving", proc.Pm("src"),
+					proc.Set("Value", proc.Add(proc.V("bonus"), proc.CI(1)))),
+			),
+		},
+	}
+}
+
+// BankDepositProc is Figure 4's Deposit.
+func BankDepositProc() *proc.Procedure {
+	big := func() proc.Expr {
+		return proc.Gt(proc.Add(proc.V("tmp"), proc.Pm("amount")), proc.CI(10000))
+	}
+	return &proc.Procedure{
+		Name:   "Deposit",
+		Params: []proc.ParamDef{proc.P("name"), proc.P("amount"), proc.P("nation")},
+		Body: []proc.Stmt{
+			proc.Read("tmp", "Current", proc.Pm("name"), "Value"),
+			proc.Write("Current", proc.Pm("name"),
+				proc.Set("Value", proc.Add(proc.V("tmp"), proc.Pm("amount")))),
+			proc.If(big(),
+				proc.Read("bonus", "Saving", proc.Pm("name"), "Value"),
+				proc.Write("Saving", proc.Pm("name"),
+					proc.Set("Value", proc.Add(proc.V("bonus"), proc.CI(1)))),
+			),
+			proc.If(big(),
+				proc.Read("count", "Stats", proc.Pm("nation"), "Count"),
+				proc.Write("Stats", proc.Pm("nation"),
+					proc.Set("Count", proc.Add(proc.V("count"), proc.CI(1)))),
+			),
+		},
+	}
+}
+
+// Name implements Workload.
+func (b *Bank) Name() string { return "bank" }
+
+// DB implements Workload.
+func (b *Bank) DB() *engine.Database { return b.db }
+
+// Registry implements Workload.
+func (b *Bank) Registry() *proc.Registry { return b.reg }
+
+// Populate creates Accounts customers: odd customer i is married to i+1,
+// balances start at 10*i current / 100 saving, and all nation counters at 0.
+func (b *Bank) Populate(exec PopulateExec) {
+	family := b.db.Table("Family")
+	current := b.db.Table("Current")
+	saving := b.db.Table("Saving")
+	stats := b.db.Table("Stats")
+	for i := 1; i <= b.Accounts; i++ {
+		spouse := int64(0)
+		if i%2 == 1 && i+1 <= b.Accounts {
+			spouse = int64(i + 1)
+		} else if i%2 == 0 {
+			spouse = int64(i - 1)
+		}
+		exec.Seed(family, uint64(i), tuple.Tuple{tuple.I(int64(i)), tuple.I(spouse)})
+		exec.Seed(current, uint64(i), tuple.Tuple{tuple.I(int64(i)), tuple.I(int64(10 * i))})
+		exec.Seed(saving, uint64(i), tuple.Tuple{tuple.I(int64(i)), tuple.I(100)})
+	}
+	for n := 1; n <= b.Nations; n++ {
+		exec.Seed(stats, uint64(n), tuple.Tuple{tuple.I(int64(n)), tuple.I(0)})
+	}
+}
+
+// Generate returns a 50/50 Transfer/Deposit mix.
+func (b *Bank) Generate(rng *rand.Rand) Txn {
+	acct := tuple.I(int64(1 + rng.Intn(b.Accounts)))
+	if rng.Intn(2) == 0 {
+		return Txn{
+			Proc: b.Transfer,
+			Args: proc.Args{proc.A(acct), proc.A(tuple.I(int64(1 + rng.Intn(100))))},
+		}
+	}
+	return Txn{
+		Proc: b.Deposit,
+		Args: proc.Args{
+			proc.A(acct),
+			proc.A(tuple.I(int64(1 + rng.Intn(5000)))),
+			proc.A(tuple.I(int64(1 + rng.Intn(b.Nations)))),
+		},
+	}
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"math/rand"
+
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/tuple"
+)
+
+// Smallbank: three tables (ACCOUNTS, SAVINGS, CHECKING) and the six
+// standard procedures. Balance is read-only; the other five generate logs.
+// Unlike TPC-C, Smallbank transactions carry one write apiece, which is why
+// the paper's Table 1 reports command logs roughly the same size as
+// logical logs here (LL/CL = 0.92).
+
+// SmallbankConfig scales the workload.
+type SmallbankConfig struct {
+	Customers int
+	// HotspotPct sends this percentage of transactions to the hot 100
+	// accounts, following the standard Smallbank skew.
+	HotspotPct int
+}
+
+// DefaultSmallbankConfig returns a laptop-scale configuration.
+func DefaultSmallbankConfig() SmallbankConfig {
+	return SmallbankConfig{Customers: 10_000, HotspotPct: 25}
+}
+
+// Smallbank is the workload instance.
+type Smallbank struct {
+	cfg SmallbankConfig
+	db  *engine.Database
+	reg *proc.Registry
+
+	Amalgamate      *proc.Compiled
+	DepositChecking *proc.Compiled
+	SendPayment     *proc.Compiled
+	TransactSavings *proc.Compiled
+	WriteCheck      *proc.Compiled
+	Balance         *proc.Compiled
+}
+
+// NewSmallbank builds the catalog and procedures.
+func NewSmallbank(cfg SmallbankConfig) *Smallbank {
+	if cfg.Customers <= 0 {
+		cfg = DefaultSmallbankConfig()
+	}
+	s := &Smallbank{cfg: cfg, db: engine.NewDatabase(), reg: proc.NewRegistry()}
+	s.db.MustAddTable(tuple.MustSchema("ACCOUNTS",
+		tuple.Col("custid", tuple.KindInt),
+		tuple.Col("name", tuple.KindString),
+	))
+	s.db.MustAddTable(tuple.MustSchema("SAVINGS",
+		tuple.Col("custid", tuple.KindInt),
+		tuple.Col("bal", tuple.KindFloat),
+	))
+	s.db.MustAddTable(tuple.MustSchema("CHECKING",
+		tuple.Col("custid", tuple.KindInt),
+		tuple.Col("bal", tuple.KindFloat),
+	))
+
+	c1, c2, amt := proc.Pm("c1"), proc.Pm("c2"), proc.Pm("amt")
+
+	// Amalgamate(c1, c2): move all of c1's funds into c2's checking.
+	s.Amalgamate = s.reg.MustRegister(s.db, &proc.Procedure{
+		Name:   "Amalgamate",
+		Params: []proc.ParamDef{proc.P("c1"), proc.P("c2")},
+		Body: []proc.Stmt{
+			proc.Read("sv", "SAVINGS", c1, "bal"),
+			proc.Write("SAVINGS", c1, proc.Set("bal", proc.CF(0))),
+			proc.Read("ck", "CHECKING", c1, "bal"),
+			proc.Write("CHECKING", c1, proc.Set("bal", proc.CF(0))),
+			proc.Read("dst", "CHECKING", c2, "bal"),
+			proc.Write("CHECKING", c2,
+				proc.Set("bal", proc.Add(proc.V("dst"), proc.Add(proc.V("sv"), proc.V("ck"))))),
+		},
+	})
+
+	// DepositChecking(c1, amt).
+	s.DepositChecking = s.reg.MustRegister(s.db, &proc.Procedure{
+		Name:   "DepositChecking",
+		Params: []proc.ParamDef{proc.P("c1"), proc.P("amt")},
+		Body: []proc.Stmt{
+			proc.Read("ck", "CHECKING", c1, "bal"),
+			proc.Write("CHECKING", c1, proc.Set("bal", proc.Add(proc.V("ck"), amt))),
+		},
+	})
+
+	// SendPayment(c1, c2, amt): checking-to-checking transfer if funded.
+	s.SendPayment = s.reg.MustRegister(s.db, &proc.Procedure{
+		Name:   "SendPayment",
+		Params: []proc.ParamDef{proc.P("c1"), proc.P("c2"), proc.P("amt")},
+		Body: []proc.Stmt{
+			proc.Read("src", "CHECKING", c1, "bal"),
+			proc.If(proc.Ge(proc.V("src"), amt),
+				proc.Write("CHECKING", c1, proc.Set("bal", proc.Sub(proc.V("src"), amt))),
+				proc.Read("dst", "CHECKING", c2, "bal"),
+				proc.Write("CHECKING", c2, proc.Set("bal", proc.Add(proc.V("dst"), amt))),
+			),
+		},
+	})
+
+	// TransactSavings(c1, amt): adjust savings, aborting on overdraft.
+	s.TransactSavings = s.reg.MustRegister(s.db, &proc.Procedure{
+		Name:   "TransactSavings",
+		Params: []proc.ParamDef{proc.P("c1"), proc.P("amt")},
+		Body: []proc.Stmt{
+			proc.Read("sv", "SAVINGS", c1, "bal"),
+			proc.If(proc.Lt(proc.Add(proc.V("sv"), amt), proc.CF(0)), proc.Abort()),
+			proc.Write("SAVINGS", c1, proc.Set("bal", proc.Add(proc.V("sv"), amt))),
+		},
+	})
+
+	// WriteCheck(c1, amt): debit checking, with an overdraft penalty when
+	// total funds are short.
+	s.WriteCheck = s.reg.MustRegister(s.db, &proc.Procedure{
+		Name:   "WriteCheck",
+		Params: []proc.ParamDef{proc.P("c1"), proc.P("amt")},
+		Body: []proc.Stmt{
+			proc.Read("sv", "SAVINGS", c1, "bal"),
+			proc.Read("ck", "CHECKING", c1, "bal"),
+			proc.IfElse(proc.Lt(proc.Add(proc.V("sv"), proc.V("ck")), amt),
+				[]proc.Stmt{proc.Write("CHECKING", c1,
+					proc.Set("bal", proc.Sub(proc.V("ck"), proc.Add(amt, proc.CF(1)))))},
+				[]proc.Stmt{proc.Write("CHECKING", c1,
+					proc.Set("bal", proc.Sub(proc.V("ck"), amt)))},
+			),
+		},
+	})
+
+	// Balance(c1): read-only.
+	s.Balance = s.reg.MustRegister(s.db, &proc.Procedure{
+		Name:   "Balance",
+		Params: []proc.ParamDef{proc.P("c1")},
+		Body: []proc.Stmt{
+			proc.Read("sv", "SAVINGS", c1, "bal"),
+			proc.Read("ck", "CHECKING", c1, "bal"),
+		},
+	})
+	return s
+}
+
+// Name implements Workload.
+func (s *Smallbank) Name() string { return "smallbank" }
+
+// DB implements Workload.
+func (s *Smallbank) DB() *engine.Database { return s.db }
+
+// Registry implements Workload.
+func (s *Smallbank) Registry() *proc.Registry { return s.reg }
+
+// Config returns the scale configuration.
+func (s *Smallbank) Config() SmallbankConfig { return s.cfg }
+
+// LoggingProcs returns the procedures the GDG is built over.
+func (s *Smallbank) LoggingProcs() []*proc.Compiled {
+	return []*proc.Compiled{
+		s.Amalgamate, s.DepositChecking, s.SendPayment, s.TransactSavings, s.WriteCheck,
+	}
+}
+
+// Populate implements Workload.
+func (s *Smallbank) Populate(exec PopulateExec) {
+	acc := s.db.Table("ACCOUNTS")
+	sav := s.db.Table("SAVINGS")
+	chk := s.db.Table("CHECKING")
+	for c := 1; c <= s.cfg.Customers; c++ {
+		exec.Seed(acc, uint64(c), tuple.Tuple{
+			tuple.I(int64(c)), tuple.S(filler("customer-name", 32)),
+		})
+		exec.Seed(sav, uint64(c), tuple.Tuple{tuple.I(int64(c)), tuple.F(2000)})
+		exec.Seed(chk, uint64(c), tuple.Tuple{tuple.I(int64(c)), tuple.F(1000)})
+	}
+}
+
+func (s *Smallbank) pickCustomer(rng *rand.Rand) int64 {
+	if rng.Intn(100) < s.cfg.HotspotPct {
+		hot := s.cfg.Customers / 100
+		if hot < 1 {
+			hot = 1
+		}
+		return int64(1 + rng.Intn(hot))
+	}
+	return int64(1 + rng.Intn(s.cfg.Customers))
+}
+
+// Generate implements Workload: 15% of each writer, 25% Balance.
+func (s *Smallbank) Generate(rng *rand.Rand) Txn {
+	c1 := tuple.I(s.pickCustomer(rng))
+	c2 := tuple.I(s.pickCustomer(rng))
+	amt := tuple.F(1 + float64(rng.Intn(9900))/100)
+	switch rng.Intn(100) {
+	case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14:
+		return Txn{Proc: s.Amalgamate, Args: proc.Args{proc.A(c1), proc.A(c2)}}
+	default:
+	}
+	switch roll := rng.Intn(100); {
+	case roll < 20:
+		return Txn{Proc: s.DepositChecking, Args: proc.Args{proc.A(c1), proc.A(amt)}}
+	case roll < 40:
+		return Txn{Proc: s.SendPayment, Args: proc.Args{proc.A(c1), proc.A(c2), proc.A(amt)}}
+	case roll < 60:
+		// Mostly deposits; occasional withdrawals that may abort.
+		v := amt
+		if rng.Intn(4) == 0 {
+			v = tuple.F(-v.Float())
+		}
+		return Txn{Proc: s.TransactSavings, Args: proc.Args{proc.A(c1), proc.A(v)}, MayAbort: true}
+	case roll < 80:
+		return Txn{Proc: s.WriteCheck, Args: proc.Args{proc.A(c1), proc.A(amt)}}
+	default:
+		return Txn{Proc: s.Balance, Args: proc.Args{proc.A(c1)}, ReadOnly: true}
+	}
+}

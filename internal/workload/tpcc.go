@@ -1,0 +1,575 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/tuple"
+)
+
+// TPC-C (scaled). The five standard transaction types are modeled in the
+// proc IR: NewOrder, Payment, and Delivery generate log records;
+// OrderStatus and StockLevel are read-only and, as in the paper's Appendix
+// C, are excluded from the dependency analysis because they produce no
+// logs.
+//
+// Simplifications relative to the full specification, chosen to keep the
+// workload deterministic under command-log replay (Section 5 requires
+// deterministic procedures with computable read/write sets):
+//
+//   - Customer lookup is by ID (the 60% by-last-name path needs secondary
+//     index scans).
+//   - Delivery receives the order IDs to deliver as parameters; the
+//     generator tracks the per-district undelivered frontier instead of
+//     the DBMS scanning for the oldest NEW-ORDER row.
+//   - Delivery credits the customer with the first order line's amount
+//     (summing all lines would need a data-dependent loop).
+//   - History rows are keyed by (warehouse, district, customer,
+//     payment count), which is derivable deterministically from the
+//     customer row.
+//
+// Tuple widths follow the spec's order of magnitude (Customer ~500B wide,
+// Stock ~300B) so the Table 1 log-size ratios reproduce.
+
+// TPCCConfig scales the workload.
+type TPCCConfig struct {
+	Warehouses           int
+	DistrictsPerWH       int
+	CustomersPerDistrict int
+	Items                int
+	// InitOrdersPerDistrict seeds delivered and undelivered orders.
+	InitOrdersPerDistrict int
+	// LinesPerOrder is the order-line count (spec: 5-15; fixed here so
+	// population is deterministic).
+	LinesPerOrder int
+	// DisableInserts removes the insert operations from NewOrder and
+	// Payment, as the paper's Section 6.1.1 does to bound database growth.
+	DisableInserts bool
+	// InvalidItemPct is the percentage of NewOrder transactions carrying an
+	// unused item, causing a rollback (spec: 1%).
+	InvalidItemPct int
+}
+
+// DefaultTPCCConfig returns a laptop-scale configuration.
+func DefaultTPCCConfig() TPCCConfig {
+	return TPCCConfig{
+		Warehouses:            2,
+		DistrictsPerWH:        10,
+		CustomersPerDistrict:  100,
+		Items:                 1000,
+		InitOrdersPerDistrict: 30,
+		LinesPerOrder:         5,
+		InvalidItemPct:        1,
+	}
+}
+
+// Key packers: W=12 bits, D=8, C/O=24, L=8, I=20.
+var (
+	keyD  = tuple.NewKeyPacker(12, 8)
+	keyC  = tuple.NewKeyPacker(12, 8, 24)
+	keyO  = tuple.NewKeyPacker(12, 8, 24)
+	keyOL = tuple.NewKeyPacker(12, 8, 24, 8)
+	keyS  = tuple.NewKeyPacker(12, 20)
+	keyH  = tuple.NewKeyPacker(12, 8, 24, 16)
+)
+
+// Key expression helpers: the same packing written as IR arithmetic so the
+// dynamic analysis can evaluate keys from parameters and read registers.
+func keyExprD(w, d proc.Expr) proc.Expr {
+	return proc.Add(proc.Mul(w, proc.CI(1<<8)), d)
+}
+
+func keyExprC(w, d, c proc.Expr) proc.Expr {
+	return proc.Add(proc.Mul(keyExprD(w, d), proc.CI(1<<24)), c)
+}
+
+func keyExprO(w, d, o proc.Expr) proc.Expr {
+	return proc.Add(proc.Mul(keyExprD(w, d), proc.CI(1<<24)), o)
+}
+
+func keyExprOL(w, d, o, l proc.Expr) proc.Expr {
+	return proc.Add(proc.Mul(keyExprO(w, d, o), proc.CI(1<<8)), l)
+}
+
+func keyExprS(w, i proc.Expr) proc.Expr {
+	return proc.Add(proc.Mul(w, proc.CI(1<<20)), i)
+}
+
+func keyExprH(w, d, c, seq proc.Expr) proc.Expr {
+	return proc.Add(proc.Mul(keyExprC(w, d, c), proc.CI(1<<16)), seq)
+}
+
+// TPCC is the workload instance.
+type TPCC struct {
+	cfg TPCCConfig
+	db  *engine.Database
+	reg *proc.Registry
+
+	NewOrder    *proc.Compiled
+	Payment     *proc.Compiled
+	Delivery    *proc.Compiled
+	OrderStatus *proc.Compiled
+	StockLevel  *proc.Compiled
+
+	// Generator state: per-(w,d) next order ID and undelivered frontier.
+	mu        sync.Mutex
+	nextOID   []int
+	delivered []int
+}
+
+// NewTPCC builds the catalog and compiles the procedures.
+func NewTPCC(cfg TPCCConfig) *TPCC {
+	if cfg.Warehouses <= 0 {
+		cfg = DefaultTPCCConfig()
+	}
+	t := &TPCC{cfg: cfg, db: engine.NewDatabase(), reg: proc.NewRegistry()}
+	t.db.MustAddTable(tuple.MustSchema("WAREHOUSE",
+		tuple.Col("w_id", tuple.KindInt),
+		tuple.Col("w_name", tuple.KindString),
+		tuple.Col("w_street", tuple.KindString),
+		tuple.Col("w_city", tuple.KindString),
+		tuple.Col("w_state", tuple.KindString),
+		tuple.Col("w_zip", tuple.KindString),
+		tuple.Col("w_tax", tuple.KindFloat),
+		tuple.Col("w_ytd", tuple.KindFloat),
+	))
+	t.db.MustAddTable(tuple.MustSchema("DISTRICT",
+		tuple.Col("d_id", tuple.KindInt),
+		tuple.Col("d_name", tuple.KindString),
+		tuple.Col("d_street", tuple.KindString),
+		tuple.Col("d_city", tuple.KindString),
+		tuple.Col("d_state", tuple.KindString),
+		tuple.Col("d_zip", tuple.KindString),
+		tuple.Col("d_tax", tuple.KindFloat),
+		tuple.Col("d_ytd", tuple.KindFloat),
+		tuple.Col("d_next_o_id", tuple.KindInt),
+	))
+	t.db.MustAddTable(tuple.MustSchema("CUSTOMER",
+		tuple.Col("c_id", tuple.KindInt),
+		tuple.Col("c_first", tuple.KindString),
+		tuple.Col("c_middle", tuple.KindString),
+		tuple.Col("c_last", tuple.KindString),
+		tuple.Col("c_street", tuple.KindString),
+		tuple.Col("c_city", tuple.KindString),
+		tuple.Col("c_state", tuple.KindString),
+		tuple.Col("c_zip", tuple.KindString),
+		tuple.Col("c_phone", tuple.KindString),
+		tuple.Col("c_since", tuple.KindInt),
+		tuple.Col("c_credit", tuple.KindString),
+		tuple.Col("c_credit_lim", tuple.KindFloat),
+		tuple.Col("c_discount", tuple.KindFloat),
+		tuple.Col("c_balance", tuple.KindFloat),
+		tuple.Col("c_ytd_payment", tuple.KindFloat),
+		tuple.Col("c_payment_cnt", tuple.KindInt),
+		tuple.Col("c_delivery_cnt", tuple.KindInt),
+		tuple.Col("c_data", tuple.KindString),
+	))
+	t.db.MustAddTable(tuple.MustSchema("HISTORY",
+		tuple.Col("h_c_id", tuple.KindInt),
+		tuple.Col("h_date", tuple.KindInt),
+		tuple.Col("h_amount", tuple.KindFloat),
+		tuple.Col("h_data", tuple.KindString),
+	))
+	t.db.MustAddTable(tuple.MustSchema("NEW_ORDER",
+		tuple.Col("no_o_id", tuple.KindInt),
+	))
+	t.db.MustAddTable(tuple.MustSchema("OORDER",
+		tuple.Col("o_id", tuple.KindInt),
+		tuple.Col("o_c_id", tuple.KindInt),
+		tuple.Col("o_carrier_id", tuple.KindInt),
+		tuple.Col("o_ol_cnt", tuple.KindInt),
+		tuple.Col("o_entry_d", tuple.KindInt),
+	))
+	t.db.MustAddTable(tuple.MustSchema("ORDER_LINE",
+		tuple.Col("ol_i_id", tuple.KindInt),
+		tuple.Col("ol_supply_w_id", tuple.KindInt),
+		tuple.Col("ol_quantity", tuple.KindInt),
+		tuple.Col("ol_amount", tuple.KindFloat),
+		tuple.Col("ol_dist_info", tuple.KindString),
+	))
+	t.db.MustAddTable(tuple.MustSchema("ITEM",
+		tuple.Col("i_id", tuple.KindInt),
+		tuple.Col("i_im_id", tuple.KindInt),
+		tuple.Col("i_name", tuple.KindString),
+		tuple.Col("i_price", tuple.KindFloat),
+		tuple.Col("i_data", tuple.KindString),
+	))
+	t.db.MustAddTable(tuple.MustSchema("STOCK",
+		tuple.Col("s_i_id", tuple.KindInt),
+		tuple.Col("s_quantity", tuple.KindInt),
+		tuple.Col("s_dist", tuple.KindString),
+		tuple.Col("s_ytd", tuple.KindInt),
+		tuple.Col("s_order_cnt", tuple.KindInt),
+		tuple.Col("s_remote_cnt", tuple.KindInt),
+		tuple.Col("s_data", tuple.KindString),
+	))
+
+	t.NewOrder = t.reg.MustRegister(t.db, t.newOrderProc())
+	t.Payment = t.reg.MustRegister(t.db, t.paymentProc())
+	t.Delivery = t.reg.MustRegister(t.db, t.deliveryProc())
+	t.OrderStatus = t.reg.MustRegister(t.db, t.orderStatusProc())
+	t.StockLevel = t.reg.MustRegister(t.db, t.stockLevelProc())
+
+	nwd := cfg.Warehouses * cfg.DistrictsPerWH
+	t.nextOID = make([]int, nwd)
+	t.delivered = make([]int, nwd)
+	for i := range t.nextOID {
+		t.nextOID[i] = cfg.InitOrdersPerDistrict + 1
+		// The last third of the initial orders are undelivered.
+		t.delivered[i] = cfg.InitOrdersPerDistrict - cfg.InitOrdersPerDistrict/3
+	}
+	return t
+}
+
+// newOrderProc builds the NewOrder transaction template. Parameters:
+// w, d, c, items[], supplies[], quantities[], invalid (1 aborts after the
+// reads, modeling the spec's 1% rollback).
+func (t *TPCC) newOrderProc() *proc.Procedure {
+	w, d, c := proc.Pm("w"), proc.Pm("d"), proc.Pm("c")
+	body := []proc.Stmt{
+		proc.Read("wtax", "WAREHOUSE", w, "w_tax"),
+		proc.Read("dtax", "DISTRICT", keyExprD(w, d), "d_tax"),
+		proc.Read("oid", "DISTRICT", keyExprD(w, d), "d_next_o_id"),
+		proc.Write("DISTRICT", keyExprD(w, d),
+			proc.Set("d_next_o_id", proc.Add(proc.V("oid"), proc.CI(1)))),
+		proc.Read("disc", "CUSTOMER", keyExprC(w, d, c), "c_discount"),
+		proc.If(proc.Eq(proc.Pm("invalid"), proc.CI(1)), proc.Abort()),
+	}
+	if !t.cfg.DisableInserts {
+		body = append(body,
+			proc.Insert("OORDER", keyExprO(w, d, proc.V("oid")),
+				proc.V("oid"), c, proc.CI(0), proc.Pm("olcnt"), proc.Pm("now")),
+			proc.Insert("NEW_ORDER", keyExprO(w, d, proc.V("oid")), proc.V("oid")),
+		)
+	}
+	loop := []proc.Stmt{
+		proc.Read("price", "ITEM", proc.V("item"), "i_price"),
+		proc.Read("sqty", "STOCK", keyExprS(proc.Pm("supw"), proc.V("item")), "s_quantity"),
+		proc.Read("sytd", "STOCK", keyExprS(proc.Pm("supw"), proc.V("item")), "s_ytd"),
+		proc.Read("socnt", "STOCK", keyExprS(proc.Pm("supw"), proc.V("item")), "s_order_cnt"),
+		proc.Write("STOCK", keyExprS(proc.Pm("supw"), proc.V("item")),
+			proc.Set("s_quantity", proc.Sub(proc.V("sqty"), proc.Pm("qty"))),
+			proc.Set("s_ytd", proc.Add(proc.V("sytd"), proc.Pm("qty"))),
+			proc.Set("s_order_cnt", proc.Add(proc.V("socnt"), proc.CI(1)))),
+	}
+	if !t.cfg.DisableInserts {
+		loop = append(loop,
+			proc.Insert("ORDER_LINE", keyExprOL(w, d, proc.V("oid"), proc.V("ln")),
+				proc.V("item"), proc.Pm("supw"), proc.Pm("qty"),
+				proc.Mul(proc.V("price"), proc.Pm("qty")),
+				proc.CS("dist-info-000000000000000000000000")),
+		)
+	}
+	body = append(body, proc.ForEachIdx("ln", "item", "items", loop...))
+	return &proc.Procedure{
+		Name: "NewOrder",
+		Params: []proc.ParamDef{
+			proc.P("w"), proc.P("d"), proc.P("c"), proc.P("items"),
+			proc.P("supw"), proc.P("qty"), proc.P("olcnt"), proc.P("now"), proc.P("invalid"),
+		},
+		Body: body,
+	}
+}
+
+// paymentProc: Payment(w, d, cw, cd, c, amount, now).
+func (t *TPCC) paymentProc() *proc.Procedure {
+	w, d := proc.Pm("w"), proc.Pm("d")
+	cw, cd, c := proc.Pm("cw"), proc.Pm("cd"), proc.Pm("c")
+	amt := proc.Pm("amount")
+	ckey := keyExprC(cw, cd, c)
+	body := []proc.Stmt{
+		proc.Read("wytd", "WAREHOUSE", w, "w_ytd"),
+		proc.Write("WAREHOUSE", w, proc.Set("w_ytd", proc.Add(proc.V("wytd"), amt))),
+		proc.Read("dytd", "DISTRICT", keyExprD(w, d), "d_ytd"),
+		proc.Write("DISTRICT", keyExprD(w, d),
+			proc.Set("d_ytd", proc.Add(proc.V("dytd"), amt))),
+		proc.Read("bal", "CUSTOMER", ckey, "c_balance"),
+		proc.Read("ytdp", "CUSTOMER", ckey, "c_ytd_payment"),
+		proc.Read("pcnt", "CUSTOMER", ckey, "c_payment_cnt"),
+		proc.Write("CUSTOMER", ckey,
+			proc.Set("c_balance", proc.Sub(proc.V("bal"), amt)),
+			proc.Set("c_ytd_payment", proc.Add(proc.V("ytdp"), amt)),
+			proc.Set("c_payment_cnt", proc.Add(proc.V("pcnt"), proc.CI(1)))),
+	}
+	if !t.cfg.DisableInserts {
+		body = append(body,
+			proc.Insert("HISTORY", keyExprH(cw, cd, c, proc.V("pcnt")),
+				c, proc.Pm("now"), amt, proc.CS("history-data-filler-012345678901")),
+		)
+	}
+	return &proc.Procedure{
+		Name: "Payment",
+		Params: []proc.ParamDef{
+			proc.P("w"), proc.P("d"), proc.P("cw"), proc.P("cd"), proc.P("c"),
+			proc.P("amount"), proc.P("now"),
+		},
+		Body: body,
+	}
+}
+
+// deliveryProc: Delivery(w, carrier, pairs[]). Each list element packs one
+// (district, order) pair as district*2^24 + order — a ForEach iterates one
+// list, so paired values travel packed.
+func (t *TPCC) deliveryProc() *proc.Procedure {
+	w := proc.Pm("w")
+	packed := proc.V("pair")
+	dd := proc.Bin(proc.OpDiv, packed, proc.CI(1<<24))
+	oo := proc.Bin(proc.OpMod, packed, proc.CI(1<<24))
+	okey := keyExprO(w, dd, oo)
+	return &proc.Procedure{
+		Name:   "Delivery",
+		Params: []proc.ParamDef{proc.P("w"), proc.P("carrier"), proc.P("pairs")},
+		Body: []proc.Stmt{
+			proc.ForEach("pair", "pairs",
+				proc.Read("noid", "NEW_ORDER", okey, "no_o_id"),
+				proc.If(proc.Ne(proc.V("noid"), proc.C(tuple.Null())),
+					proc.Delete("NEW_ORDER", okey),
+					proc.Read("cid", "OORDER", okey, "o_c_id"),
+					proc.Write("OORDER", okey,
+						proc.Set("o_carrier_id", proc.Pm("carrier"))),
+					proc.Read("amt", "ORDER_LINE", keyExprOL(w, dd, oo, proc.CI(0)), "ol_amount"),
+					proc.Read("cbal", "CUSTOMER", keyExprC(w, dd, proc.V("cid")), "c_balance"),
+					proc.Read("cdel", "CUSTOMER", keyExprC(w, dd, proc.V("cid")), "c_delivery_cnt"),
+					proc.Write("CUSTOMER", keyExprC(w, dd, proc.V("cid")),
+						proc.Set("c_balance", proc.Add(proc.V("cbal"), proc.V("amt"))),
+						proc.Set("c_delivery_cnt", proc.Add(proc.V("cdel"), proc.CI(1)))),
+				),
+			),
+		},
+	}
+}
+
+// orderStatusProc: read-only.
+func (t *TPCC) orderStatusProc() *proc.Procedure {
+	w, d, c := proc.Pm("w"), proc.Pm("d"), proc.Pm("c")
+	return &proc.Procedure{
+		Name:   "OrderStatus",
+		Params: []proc.ParamDef{proc.P("w"), proc.P("d"), proc.P("c"), proc.P("o")},
+		Body: []proc.Stmt{
+			proc.Read("bal", "CUSTOMER", keyExprC(w, d, c), "c_balance"),
+			proc.Read("carrier", "OORDER", keyExprO(w, d, proc.Pm("o")), "o_carrier_id"),
+			proc.Read("amt", "ORDER_LINE", keyExprOL(w, d, proc.Pm("o"), proc.CI(0)), "ol_amount"),
+		},
+	}
+}
+
+// stockLevelProc: read-only sample of stock rows.
+func (t *TPCC) stockLevelProc() *proc.Procedure {
+	w, d := proc.Pm("w"), proc.Pm("d")
+	return &proc.Procedure{
+		Name:   "StockLevel",
+		Params: []proc.ParamDef{proc.P("w"), proc.P("d"), proc.P("sample")},
+		Body: []proc.Stmt{
+			proc.Read("noid", "DISTRICT", keyExprD(w, d), "d_next_o_id"),
+			proc.ForEach("it", "sample",
+				proc.Read("q", "STOCK", keyExprS(w, proc.V("it")), "s_quantity"),
+			),
+		},
+	}
+}
+
+// Name implements Workload.
+func (t *TPCC) Name() string { return "tpcc" }
+
+// DB implements Workload.
+func (t *TPCC) DB() *engine.Database { return t.db }
+
+// Registry implements Workload.
+func (t *TPCC) Registry() *proc.Registry { return t.reg }
+
+// Config returns the scale configuration.
+func (t *TPCC) Config() TPCCConfig { return t.cfg }
+
+// LoggingProcs returns the procedures that generate log records — the GDG
+// input set (read-only transactions are ignored, Appendix C).
+func (t *TPCC) LoggingProcs() []*proc.Compiled {
+	return []*proc.Compiled{t.NewOrder, t.Payment, t.Delivery}
+}
+
+func filler(base string, n int) string {
+	if len(base) >= n {
+		return base[:n]
+	}
+	return base + strings.Repeat("x", n-len(base))
+}
+
+// Populate implements Workload with a deterministic initial state.
+func (t *TPCC) Populate(exec PopulateExec) {
+	cfg := t.cfg
+	rng := rand.New(rand.NewSource(7))
+	wt := t.db.Table("WAREHOUSE")
+	dt := t.db.Table("DISTRICT")
+	ct := t.db.Table("CUSTOMER")
+	it := t.db.Table("ITEM")
+	st := t.db.Table("STOCK")
+	ot := t.db.Table("OORDER")
+	olt := t.db.Table("ORDER_LINE")
+	not := t.db.Table("NEW_ORDER")
+
+	for i := 1; i <= cfg.Items; i++ {
+		exec.Seed(it, uint64(i), tuple.Tuple{
+			tuple.I(int64(i)), tuple.I(int64(rng.Intn(10000))),
+			tuple.S(filler("item", 24)),
+			tuple.F(1 + float64(rng.Intn(9900))/100),
+			tuple.S(filler("item-data", 50)),
+		})
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		exec.Seed(wt, uint64(w), tuple.Tuple{
+			tuple.I(int64(w)), tuple.S(filler("wh", 10)), tuple.S(filler("street", 20)),
+			tuple.S(filler("city", 20)), tuple.S("ST"), tuple.S("123456789"),
+			tuple.F(float64(rng.Intn(20)) / 100), tuple.F(300000),
+		})
+		for i := 1; i <= cfg.Items; i++ {
+			exec.Seed(st, keyS.Pack(uint64(w), uint64(i)), tuple.Tuple{
+				tuple.I(int64(i)), tuple.I(int64(10 + rng.Intn(91))),
+				tuple.S(filler("dist", 24)), tuple.I(0), tuple.I(0), tuple.I(0),
+				tuple.S(filler("stock-data", 50)),
+			})
+		}
+		for d := 1; d <= cfg.DistrictsPerWH; d++ {
+			exec.Seed(dt, keyD.Pack(uint64(w), uint64(d)), tuple.Tuple{
+				tuple.I(int64(d)), tuple.S(filler("dist", 10)), tuple.S(filler("street", 20)),
+				tuple.S(filler("city", 20)), tuple.S("ST"), tuple.S("123456789"),
+				tuple.F(float64(rng.Intn(20)) / 100), tuple.F(30000),
+				tuple.I(int64(cfg.InitOrdersPerDistrict + 1)),
+			})
+			for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+				exec.Seed(ct, keyC.Pack(uint64(w), uint64(d), uint64(c)), tuple.Tuple{
+					tuple.I(int64(c)), tuple.S(filler("first", 16)), tuple.S("OE"),
+					tuple.S(filler("last", 16)), tuple.S(filler("street", 20)),
+					tuple.S(filler("city", 20)), tuple.S("ST"), tuple.S("123456789"),
+					tuple.S("0123456789012345"), tuple.I(0), tuple.S("GC"),
+					tuple.F(50000), tuple.F(float64(rng.Intn(50)) / 100),
+					tuple.F(-10), tuple.F(10), tuple.I(1), tuple.I(0),
+					tuple.S(filler("customer-data", 250)),
+				})
+			}
+			deliveredUpTo := cfg.InitOrdersPerDistrict - cfg.InitOrdersPerDistrict/3
+			for o := 1; o <= cfg.InitOrdersPerDistrict; o++ {
+				cID := 1 + rng.Intn(cfg.CustomersPerDistrict)
+				carrier := int64(1 + rng.Intn(10))
+				if o > deliveredUpTo {
+					carrier = 0
+					exec.Seed(not, keyO.Pack(uint64(w), uint64(d), uint64(o)),
+						tuple.Tuple{tuple.I(int64(o))})
+				}
+				exec.Seed(ot, keyO.Pack(uint64(w), uint64(d), uint64(o)), tuple.Tuple{
+					tuple.I(int64(o)), tuple.I(int64(cID)), tuple.I(carrier),
+					tuple.I(int64(cfg.LinesPerOrder)), tuple.I(0),
+				})
+				for l := 0; l < cfg.LinesPerOrder; l++ {
+					item := 1 + rng.Intn(cfg.Items)
+					exec.Seed(olt, keyOL.Pack(uint64(w), uint64(d), uint64(o), uint64(l)), tuple.Tuple{
+						tuple.I(int64(item)), tuple.I(int64(w)),
+						tuple.I(5), tuple.F(float64(rng.Intn(9999)) / 100),
+						tuple.S(filler("ol-dist", 24)),
+					})
+				}
+			}
+		}
+	}
+}
+
+// Generate implements Workload with the standard mix: 45% NewOrder, 43%
+// Payment, 4% Delivery, 4% OrderStatus, 4% StockLevel.
+func (t *TPCC) Generate(rng *rand.Rand) Txn {
+	cfg := t.cfg
+	w := 1 + rng.Intn(cfg.Warehouses)
+	d := 1 + rng.Intn(cfg.DistrictsPerWH)
+	c := 1 + rng.Intn(cfg.CustomersPerDistrict)
+	roll := rng.Intn(100)
+	switch {
+	case roll < 45:
+		return t.genNewOrder(rng, w, d, c)
+	case roll < 88:
+		return t.genPayment(rng, w, d, c)
+	case roll < 92:
+		return t.genDelivery(rng, w)
+	case roll < 96:
+		return Txn{Proc: t.OrderStatus, Args: proc.Args{
+			proc.A(tuple.I(int64(w))), proc.A(tuple.I(int64(d))), proc.A(tuple.I(int64(c))),
+			proc.A(tuple.I(int64(1 + rng.Intn(cfg.InitOrdersPerDistrict)))),
+		}, ReadOnly: true}
+	default:
+		sample := make([]tuple.Value, 5)
+		for i := range sample {
+			sample[i] = tuple.I(int64(1 + rng.Intn(cfg.Items)))
+		}
+		return Txn{Proc: t.StockLevel, Args: proc.Args{
+			proc.A(tuple.I(int64(w))), proc.A(tuple.I(int64(d))), sample,
+		}, ReadOnly: true}
+	}
+}
+
+func (t *TPCC) genNewOrder(rng *rand.Rand, w, d, c int) Txn {
+	cfg := t.cfg
+	nItems := cfg.LinesPerOrder
+	items := make([]tuple.Value, nItems)
+	for i := range items {
+		items[i] = tuple.I(int64(1 + rng.Intn(cfg.Items)))
+	}
+	invalid := int64(0)
+	if rng.Intn(100) < cfg.InvalidItemPct {
+		invalid = 1
+	}
+	if invalid == 0 {
+		// A committed NewOrder consumes the district's order counter.
+		t.mu.Lock()
+		t.nextOID[(w-1)*cfg.DistrictsPerWH+(d-1)]++
+		t.mu.Unlock()
+	}
+	supw := int64(w)
+	if cfg.Warehouses > 1 && rng.Intn(100) < 1 {
+		supw = int64(1 + rng.Intn(cfg.Warehouses)) // remote supply
+	}
+	return Txn{Proc: t.NewOrder, Args: proc.Args{
+		proc.A(tuple.I(int64(w))), proc.A(tuple.I(int64(d))), proc.A(tuple.I(int64(c))),
+		items,
+		proc.A(tuple.I(supw)),
+		proc.A(tuple.I(int64(1 + rng.Intn(10)))),
+		proc.A(tuple.I(int64(nItems))),
+		proc.A(tuple.I(20260610)),
+		proc.A(tuple.I(invalid)),
+	}, MayAbort: invalid == 1}
+}
+
+func (t *TPCC) genPayment(rng *rand.Rand, w, d, c int) Txn {
+	cw, cd := w, d
+	if t.cfg.Warehouses > 1 && rng.Intn(100) < 15 {
+		cw = 1 + rng.Intn(t.cfg.Warehouses) // remote customer
+		cd = 1 + rng.Intn(t.cfg.DistrictsPerWH)
+	}
+	return Txn{Proc: t.Payment, Args: proc.Args{
+		proc.A(tuple.I(int64(w))), proc.A(tuple.I(int64(d))),
+		proc.A(tuple.I(int64(cw))), proc.A(tuple.I(int64(cd))), proc.A(tuple.I(int64(c))),
+		proc.A(tuple.F(1 + float64(rng.Intn(499900))/100)),
+		proc.A(tuple.I(20260610)),
+	}}
+}
+
+func (t *TPCC) genDelivery(rng *rand.Rand, w int) Txn {
+	cfg := t.cfg
+	t.mu.Lock()
+	var pairs []tuple.Value
+	for d := 1; d <= cfg.DistrictsPerWH; d++ {
+		idx := (w-1)*cfg.DistrictsPerWH + (d - 1)
+		if t.delivered[idx]+1 < t.nextOID[idx] {
+			t.delivered[idx]++
+			pairs = append(pairs, tuple.I(int64(d)<<24|int64(t.delivered[idx])))
+		}
+	}
+	t.mu.Unlock()
+	if len(pairs) == 0 {
+		// Nothing to deliver: fall back to a payment.
+		return t.genPayment(rng, w, 1+rng.Intn(cfg.DistrictsPerWH), 1+rng.Intn(cfg.CustomersPerDistrict))
+	}
+	return Txn{Proc: t.Delivery, Args: proc.Args{
+		proc.A(tuple.I(int64(w))),
+		proc.A(tuple.I(int64(1 + rng.Intn(10)))),
+		pairs,
+	}}
+}

@@ -1,0 +1,450 @@
+// Package pacman is a main-memory transactional storage engine with
+// pluggable logging (physical, logical, command) and parallel failure
+// recovery, reproducing "Fast Failure Recovery for Main-Memory DBMSs on
+// Multicores" (Wu, Guo, Chan, Tan — SIGMOD 2017).
+//
+// The headline capability is PACMAN itself: parallel replay of
+// coarse-grained command logs. Stored procedures are declared in a small IR
+// (package proc re-exported here), statically decomposed into slices and a
+// global dependency graph at registration time, and re-executed at recovery
+// as a pipeline of piece-sets whose internal parallelism comes from the
+// runtime parameter values.
+//
+// Typical lifecycle:
+//
+//	db := pacman.Open(pacman.Options{Logging: pacman.CommandLogging, ...})
+//	db.MustDefineTable(schema)
+//	db.MustRegister(procedure)
+//	db.Populate(seedFn)
+//	db.Start()
+//	s := db.Session()
+//	s.Exec("Transfer", args)
+//	...
+//	db.Crash()            // simulate failure
+//	db2 := pacman.Open(...)  // same schema/procedures/population
+//	db2.Recover(db.Devices(), pacman.CLRP, threads)
+package pacman
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pacman/internal/analysis"
+	"pacman/internal/checkpoint"
+	"pacman/internal/engine"
+	"pacman/internal/metrics"
+	"pacman/internal/proc"
+	"pacman/internal/recovery"
+	"pacman/internal/sched"
+	"pacman/internal/simdisk"
+	"pacman/internal/tuple"
+	"pacman/internal/txn"
+	"pacman/internal/wal"
+)
+
+// Re-exported types so applications use one import.
+type (
+	// Schema describes a table (see tuple.NewSchema).
+	Schema = tuple.Schema
+	// Tuple is a row value.
+	Tuple = tuple.Tuple
+	// Value is a column value.
+	Value = tuple.Value
+	// Procedure is the stored-procedure IR root.
+	Procedure = proc.Procedure
+	// Args carries one invocation's parameters.
+	Args = proc.Args
+	// Scheme selects a recovery scheme.
+	Scheme = recovery.Scheme
+	// LogKind selects a logging scheme.
+	LogKind = wal.Kind
+	// RecoveryResult reports recovery phase timings.
+	RecoveryResult = recovery.Result
+	// DeviceConfig models storage performance.
+	DeviceConfig = simdisk.Config
+	// Device is a simulated storage device.
+	Device = simdisk.Device
+	// TS is a commit timestamp.
+	TS = engine.TS
+	// Table is a storage-engine table handle.
+	Table = engine.Table
+	// GDG is the global dependency graph from static analysis.
+	GDG = analysis.GDG
+	// ReplayMode selects CLR-P's parallelism level.
+	ReplayMode = sched.Mode
+)
+
+// Logging schemes.
+const (
+	NoLogging       = wal.Off
+	PhysicalLogging = wal.Physical
+	LogicalLogging  = wal.Logical
+	CommandLogging  = wal.Command
+)
+
+// Recovery schemes.
+const (
+	PLR  = recovery.PLR
+	LLR  = recovery.LLR
+	LLRP = recovery.LLRP
+	CLR  = recovery.CLR
+	CLRP = recovery.CLRP
+)
+
+// Replay modes for CLR-P (the Figure 18/19 ablations).
+const (
+	StaticOnly  = sched.StaticOnly
+	Synchronous = sched.Synchronous
+	Pipelined   = sched.Pipelined
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Logging selects the durability scheme (default CommandLogging).
+	Logging LogKind
+	// Devices is the number of simulated storage devices (default 2, like
+	// the paper's two-SSD setup). Ignored when ExistingDevices is set.
+	Devices int
+	// DeviceConfig models each device; zero value means unlimited speed.
+	DeviceConfig DeviceConfig
+	// ExistingDevices reuses externally created devices (shared between a
+	// crashed instance and its recovering successor).
+	ExistingDevices []*Device
+	// EpochInterval is the group-commit epoch length (default 10ms).
+	EpochInterval time.Duration
+	// BatchEpochs is the number of epochs per log batch file (default 100,
+	// per the paper's Appendix A).
+	BatchEpochs uint32
+	// DisableSync skips fsync on log flushes (Table 3's "w/o fsync").
+	DisableSync bool
+	// MultiVersion retains version chains (required for online
+	// checkpointing; default true).
+	SingleVersion bool
+	// CheckpointEvery enables periodic checkpointing at this interval.
+	CheckpointEvery time.Duration
+	// CheckpointThreads is the checkpoint writer thread count (default 1
+	// per device).
+	CheckpointThreads int
+	// OnRelease observes transactions whose results become durable (group
+	// commit released); used for end-to-end latency measurement.
+	OnRelease func(ts []TS, start []time.Time)
+}
+
+// DB is a database instance: catalog, transaction manager, loggers, and
+// (optionally) a checkpoint daemon.
+type DB struct {
+	opts    Options
+	db      *engine.Database
+	reg     *proc.Registry
+	mgr     *txn.Manager
+	logset  *wal.LogSet
+	daemon  *checkpoint.Daemon
+	devices []*Device
+	started bool
+	gdg     *analysis.GDG
+}
+
+// Adopt wraps a pre-built catalog and procedure registry (e.g., one of the
+// internal/workload benchmarks) in a DB instance. The experiment harness
+// and examples use it to avoid re-declaring benchmark schemas.
+func Adopt(db *engine.Database, reg *proc.Registry, opts Options) *DB {
+	d := Open(opts)
+	d.db = db
+	d.reg = reg
+	d.mgr = txn.NewManager(db, txn.Config{
+		MultiVersion:  !opts.SingleVersion,
+		EpochInterval: d.opts.EpochInterval,
+		MaxRetries:    10000,
+	})
+	return d
+}
+
+// Open creates a database instance. Define tables and procedures, populate,
+// then Start.
+func Open(opts Options) *DB {
+	if opts.Devices <= 0 {
+		opts.Devices = 2
+	}
+	if opts.EpochInterval <= 0 {
+		opts.EpochInterval = 10 * time.Millisecond
+	}
+	d := &DB{
+		opts: opts,
+		db:   engine.NewDatabase(),
+		reg:  proc.NewRegistry(),
+	}
+	if len(opts.ExistingDevices) > 0 {
+		d.devices = opts.ExistingDevices
+	} else {
+		for i := 0; i < opts.Devices; i++ {
+			d.devices = append(d.devices, simdisk.New(fmt.Sprintf("ssd%d", i), opts.DeviceConfig))
+		}
+	}
+	d.mgr = txn.NewManager(d.db, txn.Config{
+		MultiVersion:  !opts.SingleVersion,
+		EpochInterval: opts.EpochInterval,
+		MaxRetries:    10000,
+	})
+	return d
+}
+
+// DefineTable adds a table to the catalog. All tables must be defined
+// before procedures referencing them are registered, and in the same order
+// between a logging run and its recovery run.
+func (d *DB) DefineTable(s *Schema) (*Table, error) {
+	return d.db.AddTable(s)
+}
+
+// MustDefineTable is DefineTable that panics on error.
+func (d *DB) MustDefineTable(s *Schema) *Table {
+	return d.db.MustAddTable(s)
+}
+
+// Register compiles and registers a stored procedure. Registration order
+// assigns the procedure IDs recorded in command logs, so it must match
+// between the logging run and recovery.
+func (d *DB) Register(p *Procedure) error {
+	_, err := d.reg.Register(d.db, p)
+	return err
+}
+
+// MustRegister is Register that panics on error.
+func (d *DB) MustRegister(p *Procedure) {
+	d.reg.MustRegister(d.db, p)
+}
+
+// Table returns a table handle.
+func (d *DB) Table(name string) *Table { return d.db.Table(name) }
+
+// Seed installs one initial row (population happens before Start; it is
+// not logged and must be deterministic so recovery can reproduce it when no
+// checkpoint exists).
+func (d *DB) Seed(t *Table, key uint64, vals Tuple) {
+	r, _ := t.GetOrCreateRow(key)
+	r.Install(engine.MakeTS(0, 1), vals, false, !d.opts.SingleVersion)
+}
+
+// Populate runs a seeding function against the catalog.
+func (d *DB) Populate(fn func(seed func(t *Table, key uint64, vals Tuple))) {
+	fn(d.Seed)
+}
+
+// Analyze runs the static analysis over the registered log-generating
+// procedures (those containing at least one modification) and returns the
+// global dependency graph. Start calls it implicitly; it is exposed for
+// inspection tools.
+func (d *DB) Analyze() *GDG {
+	var ldgs []*analysis.LDG
+	for _, c := range d.reg.All() {
+		writes := false
+		for _, op := range c.Ops() {
+			if op.Kind.IsModification() {
+				writes = true
+				break
+			}
+		}
+		if writes {
+			ldgs = append(ldgs, analysis.BuildLDG(c))
+		}
+	}
+	return analysis.BuildGDG(ldgs)
+}
+
+// Start launches the epoch clock, loggers, and checkpoint daemon, and runs
+// the static analysis.
+func (d *DB) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	d.gdg = d.Analyze()
+	d.mgr.StartEpochTicker()
+	cfg := wal.Config{
+		Kind:          d.opts.Logging,
+		BatchEpochs:   d.opts.BatchEpochs,
+		FlushInterval: d.opts.EpochInterval / 4,
+		Sync:          !d.opts.DisableSync,
+	}
+	if d.opts.OnRelease != nil {
+		rel := d.opts.OnRelease
+		cfg.OnRelease = func(cs []*txn.Committed) {
+			tss := make([]TS, len(cs))
+			starts := make([]time.Time, len(cs))
+			for i, c := range cs {
+				tss[i] = c.TS
+				starts[i] = c.Start
+			}
+			rel(tss, starts)
+		}
+	}
+	d.logset = wal.NewLogSet(d.mgr, cfg, d.devices)
+	d.logset.Start()
+	if d.opts.CheckpointEvery > 0 {
+		ct := d.opts.CheckpointThreads
+		if ct <= 0 {
+			ct = len(d.devices)
+		}
+		d.daemon = checkpoint.NewDaemon(d.mgr, d.devices, checkpoint.Config{
+			Threads:      ct,
+			IncludeSlots: d.opts.Logging == wal.Physical,
+		}, d.opts.CheckpointEvery)
+		d.daemon.Start()
+	}
+}
+
+// GDGraph returns the dependency graph built at Start (nil before Start).
+func (d *DB) GDGraph() *GDG { return d.gdg }
+
+// Devices returns the storage devices (pass them to a recovering instance).
+func (d *DB) Devices() []*Device { return d.devices }
+
+// PersistedEpoch returns the current durable epoch.
+func (d *DB) PersistedEpoch() uint32 {
+	if d.logset == nil {
+		return d.mgr.SafeEpoch()
+	}
+	return d.logset.PersistedEpoch()
+}
+
+// CheckpointRunning reports whether a checkpoint is being written.
+func (d *DB) CheckpointRunning() bool {
+	return d.daemon != nil && d.daemon.Running()
+}
+
+// Checkpoint takes one checkpoint immediately.
+func (d *DB) Checkpoint() error {
+	if d.daemon != nil {
+		_, err := d.daemon.RunOnce()
+		return err
+	}
+	se := d.mgr.SafeEpoch()
+	_, err := checkpoint.Write(d.db, d.devices, checkpoint.Config{
+		Threads:      len(d.devices),
+		IncludeSlots: d.opts.Logging == wal.Physical,
+	}, 1, engine.MakeTS(se, ^uint32(0)))
+	return err
+}
+
+// Close shuts the instance down cleanly: retires nothing by itself (retire
+// sessions first), flushes all logs, and stops background goroutines.
+func (d *DB) Close() {
+	if d.daemon != nil {
+		d.daemon.Stop()
+	}
+	d.mgr.Stop()
+	if d.logset != nil {
+		d.mgr.AdvanceEpoch()
+		d.logset.Close()
+	}
+}
+
+// Crash simulates a power failure: all background work halts instantly and
+// every device loses its unsynced tail. The in-memory state is left behind
+// for post-mortem comparison; recover into a fresh instance.
+func (d *DB) Crash() {
+	if d.daemon != nil {
+		d.daemon.Stop()
+	}
+	d.mgr.Stop()
+	if d.logset != nil {
+		d.logset.Abort()
+	}
+	for _, dev := range d.devices {
+		dev.Crash()
+	}
+}
+
+// ErrNotStarted is returned by Session before Start.
+var ErrNotStarted = errors.New("pacman: database not started")
+
+// Session is a worker-thread handle for executing transactions. Create one
+// per goroutine.
+type Session struct {
+	d *DB
+	w *txn.Worker
+}
+
+// Session creates a new execution session.
+func (d *DB) Session() *Session {
+	if !d.started {
+		panic(ErrNotStarted)
+	}
+	w := d.mgr.NewWorker()
+	d.logset.AttachWorker(w)
+	return &Session{d: d, w: w}
+}
+
+// Exec runs a stored procedure by name and returns its commit timestamp.
+func (s *Session) Exec(name string, args Args) (TS, error) {
+	c := s.d.reg.ByName(name)
+	if c == nil {
+		return 0, fmt.Errorf("pacman: unknown procedure %q", name)
+	}
+	return s.w.Execute(c, args, false, time.Now())
+}
+
+// ExecAdHoc runs a procedure as an ad-hoc transaction: its effects are
+// durable through tuple-level logical logging rather than command logging
+// (Section 4.5).
+func (s *Session) ExecAdHoc(name string, args Args) (TS, error) {
+	c := s.d.reg.ByName(name)
+	if c == nil {
+		return 0, fmt.Errorf("pacman: unknown procedure %q", name)
+	}
+	return s.w.Execute(c, args, true, time.Now())
+}
+
+// Heartbeat publishes liveness while the session is idle; call it when the
+// session has no transaction in flight (e.g., an empty request queue), or
+// group commit stalls waiting for this session.
+func (s *Session) Heartbeat() { s.w.Heartbeat() }
+
+// Retire marks the session finished.
+func (s *Session) Retire() { s.w.Retire() }
+
+// RecoverConfig tunes DB.Recover.
+type RecoverConfig struct {
+	Threads int
+	// Mode selects CLR-P's parallelism (default Pipelined).
+	Mode ReplayMode
+	// DisableLatches is the Figure 15 unsafe toggle for PLR/LLR.
+	DisableLatches bool
+	// Breakdown receives the Figure 20 phase split when non-nil (use
+	// NewBreakdown).
+	Breakdown *Breakdown
+	// SkipCheckpoint ignores checkpoints on the devices.
+	SkipCheckpoint bool
+}
+
+// Breakdown re-exports the metrics breakdown for recovery instrumentation.
+type Breakdown = metrics.Breakdown
+
+// NewBreakdown allocates a Figure 20 recovery-time breakdown.
+func NewBreakdown() *Breakdown { return sched.NewBreakdown() }
+
+// Recover rebuilds this (fresh, populated, not-started) instance from the
+// logs and checkpoints on the given devices using the chosen scheme.
+func (d *DB) Recover(from []*Device, scheme Scheme, cfg RecoverConfig) (*RecoveryResult, error) {
+	if d.started {
+		return nil, errors.New("pacman: recover into a fresh instance, not a started one")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	opts := recovery.Options{
+		Scheme:         scheme,
+		DB:             d.db,
+		Registry:       d.reg,
+		Devices:        from,
+		Threads:        cfg.Threads,
+		DisableLatches: cfg.DisableLatches,
+		Mode:           cfg.Mode,
+		Breakdown:      cfg.Breakdown,
+		SkipCheckpoint: cfg.SkipCheckpoint,
+	}
+	if scheme == recovery.CLRP {
+		opts.GDG = d.Analyze()
+	}
+	return recovery.Run(opts)
+}
