@@ -1,0 +1,34 @@
+# make check mirrors .github/workflows/ci.yml exactly; CI calls these same
+# targets so the two can't drift.
+GO ?= go
+
+RACE_PKGS := ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/...
+
+.PHONY: check fmt vet build test race smoke bench
+
+check: fmt vet build test race smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# A tiny end-to-end run of the bench binary: logs a short smallbank run on
+# two simulated devices and recovers it with every scheme through both the
+# serial and pipelined reload paths.
+smoke:
+	$(GO) run ./cmd/pacman-bench -exp reload -duration 300ms -workers 2
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

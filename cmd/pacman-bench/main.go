@@ -35,10 +35,11 @@ var experiments = map[string]func(io.Writer, harness.Scale) error{
 	"fig21":  harness.Fig21,
 	"table2": harness.Table2,
 	"table3": harness.Table3,
+	"reload": harness.FigReload,
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")

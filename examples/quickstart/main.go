@@ -96,8 +96,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("recovery: %v", err)
 	}
-	fmt.Printf("recovered %d transactions in %v (reload %v)\n",
-		res.Entries, res.LogTotal.Round(time.Microsecond), res.LogReload.Round(time.Microsecond))
+	fmt.Printf("recovered %d transactions in %v (reload work %v, reload wall %v, replay stalled %v)\n",
+		res.Entries, res.LogTotal.Round(time.Microsecond), res.LogReload.Round(time.Microsecond),
+		res.ReloadWall.Round(time.Microsecond), res.ReloadStall.Round(time.Microsecond))
 
 	// 5. Verify.
 	r2, ok := db2.Table("Current").GetRow(1)

@@ -100,9 +100,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("%v: %v", scheme, err)
 		}
-		fmt.Printf("  %-5v replayed %6d txns in %8v (reload %v)\n",
+		fmt.Printf("  %-5v replayed %6d txns in %8v (reload wall %v)\n",
 			scheme, res.Entries, res.LogTotal.Round(time.Microsecond),
-			res.LogReload.Round(time.Microsecond))
+			res.ReloadWall.Round(time.Microsecond))
 		var got int64
 		db2.Table("DISTRICT").ScanSlots(0, 1, func(r *engine.Row) {
 			got = r.LatestData()[8].Int()

@@ -1,0 +1,3 @@
+module pacman
+
+go 1.24

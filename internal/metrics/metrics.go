@@ -141,6 +141,28 @@ func (h *Histogram) Snapshot() string {
 		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
 }
 
+// DurationSum accumulates wall time from concurrent contributors with a
+// single atomic add per record; the reload pipeline's readers and decode
+// workers share one per stage.
+type DurationSum struct{ ns atomic.Int64 }
+
+// Add accumulates d.
+func (s *DurationSum) Add(d time.Duration) { s.ns.Add(int64(d)) }
+
+// AddSince accumulates the time elapsed since t0.
+func (s *DurationSum) AddSince(t0 time.Time) { s.ns.Add(int64(time.Since(t0))) }
+
+// Load returns the accumulated total.
+func (s *DurationSum) Load() time.Duration { return time.Duration(s.ns.Load()) }
+
+// Pct returns part as a percentage of whole (0 when whole is 0).
+func Pct(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 

@@ -92,6 +92,37 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
+func TestDurationSum(t *testing.T) {
+	var s DurationSum
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Add(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Load(); got != 800*time.Millisecond {
+		t.Fatalf("DurationSum = %v, want 800ms", got)
+	}
+	s.AddSince(time.Now().Add(-time.Hour))
+	if got := s.Load(); got < time.Hour {
+		t.Fatalf("AddSince accumulated %v, want >= 1h", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(250*time.Millisecond, time.Second); got != 25 {
+		t.Fatalf("Pct = %v, want 25", got)
+	}
+	if got := Pct(time.Second, 0); got != 0 {
+		t.Fatalf("Pct with zero whole = %v, want 0", got)
+	}
+}
+
 func TestCounter(t *testing.T) {
 	var c Counter
 	c.Inc()

@@ -1,0 +1,79 @@
+package recovery
+
+import (
+	"testing"
+
+	"pacman/internal/wal"
+)
+
+// TestPipelinedMatchesSerialReload recovers the same crashed history through
+// the legacy serial feeder and the pipelined reloader, for every scheme, and
+// requires identical recovered state.
+func TestPipelinedMatchesSerialReload(t *testing.T) {
+	for _, scheme := range []Scheme{PLR, LLR, LLRP, CLR, CLRP} {
+		f := runFixture(t, scheme.LogKind(), 200, 10, true, false, int64(scheme)+42)
+		serial, _ := recoverInto(t, f, scheme, 2, func(o *Options) { o.SerialReload = true })
+		pipe, pres := recoverInto(t, f, scheme, 2, nil)
+		sameState(t, snapshotState(serial.DB()), snapshotState(pipe.DB()), scheme.String())
+		if pres.Entries == 0 {
+			t.Errorf("%v: pipelined replayed no entries", scheme)
+		}
+	}
+}
+
+// TestPipelinedResultAccounting checks the overlap/stall breakdown fields.
+func TestPipelinedResultAccounting(t *testing.T) {
+	f := runFixture(t, wal.Command, 300, 0, true, false, 7)
+	_, res := recoverInto(t, f, CLRP, 2, nil)
+	if res.LogReload <= 0 {
+		t.Error("LogReload not accounted")
+	}
+	if res.ReloadWall <= 0 {
+		t.Error("ReloadWall not accounted")
+	}
+	if res.ReloadStall < 0 || res.ReloadOverlap < 0 {
+		t.Errorf("negative stall/overlap: %v / %v", res.ReloadStall, res.ReloadOverlap)
+	}
+	if got := res.ReloadStall + res.ReloadOverlap; got != res.ReloadWall && res.ReloadOverlap != 0 {
+		// Overlap is defined as wall - stall (clamped), so when both are
+		// nonzero they must sum back to the wall.
+		t.Errorf("stall %v + overlap %v != wall %v", res.ReloadStall, res.ReloadOverlap, res.ReloadWall)
+	}
+	_, sres := recoverInto(t, f, CLRP, 2, func(o *Options) { o.SerialReload = true })
+	if sres.Entries != res.Entries {
+		t.Errorf("entry counts differ: serial %d, pipelined %d", sres.Entries, res.Entries)
+	}
+	if sres.LogBytes != res.LogBytes {
+		t.Errorf("byte counts differ: serial %d, pipelined %d", sres.LogBytes, res.LogBytes)
+	}
+}
+
+// TestCheckpointFilterPushdown recovers with a checkpoint via both reload
+// paths: the reader-side filter must drop exactly what the serial feeder's
+// post-reload filter drops, and both must replay to the same state.
+func TestCheckpointFilterPushdown(t *testing.T) {
+	for _, scheme := range []Scheme{LLR, CLRP} {
+		f := runFixture(t, scheme.LogKind(), 240, 0, true, true, 99)
+		serial, sres := recoverInto(t, f, scheme, 2, func(o *Options) { o.SerialReload = true })
+		pipe, pres := recoverInto(t, f, scheme, 2, nil)
+		sameState(t, snapshotState(serial.DB()), snapshotState(pipe.DB()), scheme.String())
+		if pres.Filtered != sres.Filtered {
+			t.Errorf("%v: filtered %d entries in readers, serial filtered %d",
+				scheme, pres.Filtered, sres.Filtered)
+		}
+		if pres.Filtered == 0 {
+			t.Errorf("%v: checkpoint filter never fired (fixture must log before the checkpoint)", scheme)
+		}
+		if pres.Entries != sres.Entries {
+			t.Errorf("%v: entries %d vs %d", scheme, pres.Entries, sres.Entries)
+		}
+	}
+}
+
+// TestPipelinedTightWindow exercises the bounded staging window end to end.
+func TestPipelinedTightWindow(t *testing.T) {
+	f := runFixture(t, wal.Command, 200, 0, true, false, 3)
+	serial, _ := recoverInto(t, f, CLRP, 2, func(o *Options) { o.SerialReload = true })
+	pipe, _ := recoverInto(t, f, CLRP, 2, func(o *Options) { o.ReloadWindow = 1 })
+	sameState(t, snapshotState(serial.DB()), snapshotState(pipe.DB()), "window=1")
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pacman/internal/analysis"
@@ -98,6 +99,13 @@ type Options struct {
 	// SkipCheckpoint skips checkpoint recovery even if one exists (used by
 	// experiments that isolate log recovery).
 	SkipCheckpoint bool
+	// SerialReload selects the legacy single-feeder reload path: one
+	// goroutine reloading batches one at a time. It is the measured
+	// baseline for the pipelined reloader and is never faster.
+	SerialReload bool
+	// ReloadWindow bounds how many batches the pipelined reloader may
+	// stage ahead of replay (default 4).
+	ReloadWindow int
 }
 
 // Result reports the phases of a recovery run, matching the splits the
@@ -111,17 +119,31 @@ type Result struct {
 	// installation and (inline) index building (Fig 13b).
 	CheckpointTotal time.Duration
 	CheckpointRows  int64
-	// LogReload is cumulative time spent reading and decoding log files
-	// (Fig 14a).
+	// LogReload is cumulative time spent reading and decoding log files,
+	// summed across the pipeline's readers and decode workers (Fig 14a).
 	LogReload time.Duration
+	// ReloadWall is the reload pipeline's wall-clock duration. With the
+	// pipelined reloader it is far below LogReload because devices are
+	// read concurrently and decode overlaps I/O.
+	ReloadWall time.Duration
+	// ReloadStall is how long replay sat blocked waiting for the next
+	// batch — the paper's "recovery time is bounded by load time" claim
+	// holds when LogTotal ≈ ReloadStall + replay tail.
+	ReloadStall time.Duration
+	// ReloadOverlap is the portion of the reload pipeline's wall time
+	// that ran concurrently with active replay (ReloadWall - ReloadStall).
+	ReloadOverlap time.Duration
 	// LogTotal is the overall log recovery duration including replay and,
 	// for PLR, the deferred index rebuild (Fig 14b).
 	LogTotal time.Duration
 	// IndexRebuild is PLR's post-replay index reconstruction component.
 	IndexRebuild time.Duration
 	Entries      int
-	LogBytes     int64
-	TornFiles    int
+	// Filtered counts log entries skipped because a checkpoint already
+	// covered them (TS <= checkpoint TS).
+	Filtered  int
+	LogBytes  int64
+	TornFiles int
 }
 
 // Run performs a full database recovery. The catalog must already hold the
@@ -180,74 +202,163 @@ func Run(opts Options) (*Result, error) {
 	}
 	res.LogTotal = time.Since(start)
 	if opts.Breakdown != nil {
-		opts.Breakdown.Add(sched.PhaseLoad, res.LogReload)
+		// The loading phase of the Figure 20 split is what replay actually
+		// paid for data loading — the stall waiting on the reload pipeline —
+		// not the summed read+decode work, most of which overlaps replay.
+		opts.Breakdown.Add(sched.PhaseLoad, res.ReloadStall)
 	}
 	return res, nil
 }
 
-// replayLog streams batches: a producer reloads and decodes files while the
-// scheme-specific consumer replays them.
+// feed hands reloaded batches to a replay scheme, accounting the time the
+// scheme spends stalled waiting on the reload pipeline. All replay schemes
+// consume from the single goroutine that calls next, so Result accumulation
+// stays race-free by construction.
+type feed struct {
+	ch    <-chan wal.Batch
+	stall metrics.DurationSum
+}
+
+// next blocks for the next batch, charging the wait to the stall account.
+func (f *feed) next() (wal.Batch, bool) {
+	t0 := time.Now()
+	b, ok := <-f.ch
+	f.stall.AddSince(t0)
+	return b, ok
+}
+
+// each drains the feed, accounting replayed entries into res and applying
+// fn to every batch; it stops on a feed error or the first fn error.
+func (f *feed) each(res *Result, fn func([]*wal.Entry) error) error {
+	for {
+		batch, ok := f.next()
+		if !ok {
+			return nil
+		}
+		if batch.Err != nil {
+			return batch.Err
+		}
+		res.Entries += len(batch.Entries)
+		if err := fn(batch.Entries); err != nil {
+			return err
+		}
+	}
+}
+
+// replayLog streams batches through the reload pipeline into the
+// scheme-specific consumer: per-device readers and a shared decode pool
+// reload batch N+1..N+k while the consumer replays batch N.
 func replayLog(opts Options, pepoch uint32, ckptTS engine.TS, res *Result) error {
+	if opts.SerialReload {
+		return replayLogSerial(opts, pepoch, ckptTS, res)
+	}
+	rl, err := wal.NewReloader(opts.Devices, wal.ReloadOptions{
+		Pepoch:        pepoch,
+		CkptTS:        ckptTS,
+		DecodeWorkers: opts.Threads,
+		Window:        opts.ReloadWindow,
+	})
+	if err != nil {
+		return err
+	}
+	defer rl.Abort()
+	f := &feed{ch: rl.Batches()}
+	replayErr := dispatch(opts, f, res)
+	// The pipeline's counters are atomics; on the normal path the stream
+	// has closed and they are final, on the error path they are a valid
+	// partial account.
+	st := rl.Stats()
+	res.LogReload = st.ReadTime + st.DecodeTime
+	res.ReloadWall = st.Wall
+	res.LogBytes = st.Bytes
+	res.TornFiles = st.TornFiles
+	res.Filtered = st.Filtered
+	finishStallAccounting(res, f)
+	return replayErr
+}
+
+// replayLogSerial is the legacy baseline: one goroutine reloads batches one
+// at a time into a shallow channel. The producer-local stats need no
+// synchronization: they are read only after the drain loop observes the
+// channel close, which happens-after every producer write.
+func replayLogSerial(opts Options, pepoch uint32, ckptTS engine.TS, res *Result) error {
 	batches, err := wal.Discover(opts.Devices)
 	if err != nil {
 		return err
 	}
-
-	feed := make(chan batchLoad, 2)
-	var reloadTime time.Duration
-	var mu sync.Mutex
+	ch := make(chan wal.Batch, 2)
+	var abort atomic.Bool
+	var reloadWork, reloadWall time.Duration
+	var bytes int64
+	var torn, filtered int
 	go func() {
-		defer close(feed)
+		defer close(ch)
+		start := time.Now()
+		defer func() { reloadWall = time.Since(start) }()
 		for _, bf := range batches {
-			t0 := time.Now()
-			entries, stats, err := wal.ReloadBatch(bf, pepoch, opts.Threads)
-			mu.Lock()
-			reloadTime += time.Since(t0)
-			res.LogBytes += stats.Bytes
-			res.TornFiles += stats.TornFiles
-			mu.Unlock()
-			// Entries already covered by the checkpoint are skipped.
-			if ckptTS > 0 {
-				kept := entries[:0]
-				for _, e := range entries {
-					if e.TS > ckptTS {
-						kept = append(kept, e)
-					}
-				}
-				entries = kept
+			// A failed replay stops consuming; don't reload what nobody
+			// will ever replay.
+			if abort.Load() {
+				return
 			}
-			feed <- batchLoad{entries: entries, err: err}
+			entries, stats, err := wal.ReloadBatch(bf, pepoch, ckptTS, opts.Threads)
+			reloadWork += stats.ReadTime + stats.DecodeTime
+			bytes += stats.Bytes
+			torn += stats.TornFiles
+			filtered += stats.Filtered
+			ch <- wal.Batch{Batch: bf.Batch, Entries: entries, Err: err}
 			if err != nil {
 				return
 			}
 		}
 	}()
+	f := &feed{ch: ch}
+	replayErr := dispatch(opts, f, res)
+	abort.Store(true)
+	// Drain so the producer always exits; only then are its stats final.
+	for range ch {
+	}
+	res.LogReload = reloadWork
+	res.ReloadWall = reloadWall
+	res.LogBytes = bytes
+	res.TornFiles = torn
+	res.Filtered = filtered
+	finishStallAccounting(res, f)
+	return replayErr
+}
 
-	var replayErr error
+// finishStallAccounting derives the stall/overlap split of one reload
+// pipeline run.
+func finishStallAccounting(res *Result, f *feed) {
+	res.ReloadStall = f.stall.Load()
+	res.ReloadOverlap = res.ReloadWall - res.ReloadStall
+	if res.ReloadOverlap < 0 {
+		res.ReloadOverlap = 0
+	}
+}
+
+// dispatch routes the feed to the scheme's consumer.
+func dispatch(opts Options, f *feed, res *Result) error {
 	switch opts.Scheme {
 	case PLR:
-		replayErr = replayPhysical(opts, feed, res)
+		return replayPhysical(opts, f, res)
 	case LLR:
-		replayErr = replayLogical(opts, feed, res)
+		return replayLogical(opts, f, res)
 	case LLRP:
-		replayErr = replayLogicalPartitioned(opts, feed, res)
+		return replayLogicalPartitioned(opts, f, res)
 	case CLR:
-		replayErr = replaySerialCommand(opts, feed, res)
+		return replaySerialCommand(opts, f, res)
 	case CLRP:
-		replayErr = replayPACMAN(opts, feed, res)
+		return replayPACMAN(opts, f, res)
 	default:
-		replayErr = fmt.Errorf("recovery: unknown scheme %v", opts.Scheme)
+		return fmt.Errorf("recovery: unknown scheme %v", opts.Scheme)
 	}
-	mu.Lock()
-	res.LogReload = reloadTime
-	mu.Unlock()
-	return replayErr
 }
 
 // replayPhysical: last-writer-wins by physical slot, latched, parallel
 // across entries; indexes deferred.
-func replayPhysical(opts Options, feed <-chan batchLoad, res *Result) error {
-	return consumeParallel(opts, feed, res, func(e *wal.Entry) error {
+func replayPhysical(opts Options, f *feed, res *Result) error {
+	return consumeParallel(opts, f, res, func(e *wal.Entry) error {
 		for _, w := range e.Writes {
 			t := opts.DB.TableByID(w.TableID)
 			if t == nil {
@@ -268,8 +379,8 @@ func replayPhysical(opts Options, feed <-chan batchLoad, res *Result) error {
 
 // replayLogical: SiloR-style parallel replay by key with latches and
 // timestamp-sorted version splicing; index built inline.
-func replayLogical(opts Options, feed <-chan batchLoad, res *Result) error {
-	return consumeParallel(opts, feed, res, func(e *wal.Entry) error {
+func replayLogical(opts Options, f *feed, res *Result) error {
+	return consumeParallel(opts, f, res, func(e *wal.Entry) error {
 		for _, w := range e.Writes {
 			t := opts.DB.TableByID(w.TableID)
 			if t == nil {
@@ -286,12 +397,6 @@ func replayLogical(opts Options, feed <-chan batchLoad, res *Result) error {
 		}
 		return nil
 	})
-}
-
-// batchLoad is one reloaded batch handed from the producer to a consumer.
-type batchLoad struct {
-	entries []*wal.Entry
-	err     error
 }
 
 // errOnce records the first error across workers.
@@ -319,30 +424,23 @@ func (e *errOnce) get() error {
 
 // consumeParallel fans entries of each batch across Threads workers. Order
 // within a batch is irrelevant for PLR (LWW) and LLR (sorted splicing).
-func consumeParallel(opts Options, feed <-chan batchLoad, res *Result, apply func(*wal.Entry) error) error {
+func consumeParallel(opts Options, f *feed, res *Result, apply func(*wal.Entry) error) error {
 	var eo errOnce
-	for batch := range feed {
-		if batch.err != nil {
-			return batch.err
-		}
-		res.Entries += len(batch.entries)
+	return f.each(res, func(entries []*wal.Entry) error {
 		var wg sync.WaitGroup
 		n := opts.Threads
 		for w := 0; w < n; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < len(batch.entries); i += n {
-					eo.set(apply(batch.entries[i]))
+				for i := w; i < len(entries); i += n {
+					eo.set(apply(entries[i]))
 				}
 			}(w)
 		}
 		wg.Wait()
-		if err := eo.get(); err != nil {
-			return err
-		}
-	}
-	return nil
+		return eo.get()
+	})
 }
 
 var shuffleSeed = maphash.MakeSeed()
@@ -350,16 +448,12 @@ var shuffleSeed = maphash.MakeSeed()
 // replayLogicalPartitioned: LLR-P. Writes are shuffled by (table, key) to
 // per-thread partitions and each partition reinstalls its keys' writes in
 // commit order, latch-free (Section 4.5 / Section 6.2's LLR-P).
-func replayLogicalPartitioned(opts Options, feed <-chan batchLoad, res *Result) error {
+func replayLogicalPartitioned(opts Options, f *feed, res *Result) error {
 	n := opts.Threads
-	for batch := range feed {
-		if batch.err != nil {
-			return batch.err
-		}
-		res.Entries += len(batch.entries)
+	return f.each(res, func(entries []*wal.Entry) error {
 		// Shuffle phase: per-partition write lists in commit order.
 		parts := make([][]partWrite, n)
-		for _, e := range batch.entries {
+		for _, e := range entries {
 			for i := range e.Writes {
 				w := &e.Writes[i]
 				p := int(hashTableKey(w.TableID, w.Key) % uint64(n))
@@ -385,11 +479,8 @@ func replayLogicalPartitioned(opts Options, feed <-chan batchLoad, res *Result) 
 			}(p)
 		}
 		wg.Wait()
-		if err := eo.get(); err != nil {
-			return err
-		}
-	}
-	return nil
+		return eo.get()
+	})
 }
 
 type partWrite struct {
@@ -411,14 +502,10 @@ func hashTableKey(table int, key uint64) uint64 {
 
 // replaySerialCommand: CLR. One thread re-executes committed transactions
 // in commit order; ad-hoc tuple entries reinstall their images.
-func replaySerialCommand(opts Options, feed <-chan batchLoad, res *Result) error {
+func replaySerialCommand(opts Options, f *feed, res *Result) error {
 	ex := &serialExec{db: opts.DB}
-	for batch := range feed {
-		if batch.err != nil {
-			return batch.err
-		}
-		res.Entries += len(batch.entries)
-		for _, e := range batch.entries {
+	return f.each(res, func(entries []*wal.Entry) error {
+		for _, e := range entries {
 			switch e.Kind {
 			case wal.EntryCommand:
 				c := opts.Registry.ByID(e.ProcID)
@@ -437,12 +524,13 @@ func replaySerialCommand(opts Options, feed <-chan batchLoad, res *Result) error
 				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// replayPACMAN: CLR-P through the scheduler.
-func replayPACMAN(opts Options, feed <-chan batchLoad, res *Result) error {
+// replayPACMAN: CLR-P through the scheduler, batches submitted incrementally
+// in epoch order as the reload pipeline delivers them.
+func replayPACMAN(opts Options, f *feed, res *Result) error {
 	if opts.GDG == nil {
 		return fmt.Errorf("recovery: CLR-P requires a GDG")
 	}
@@ -451,16 +539,9 @@ func replayPACMAN(opts Options, feed <-chan batchLoad, res *Result) error {
 		Mode:      opts.Mode,
 		Breakdown: opts.Breakdown,
 	})
-	r.Start()
-	for batch := range feed {
-		if batch.err != nil {
-			r.Finish()
-			return batch.err
-		}
-		res.Entries += len(batch.entries)
-		r.Submit(batch.entries)
-	}
-	return r.Finish()
+	n, err := r.Consume(f.ch, &f.stall)
+	res.Entries += n
+	return err
 }
 
 // rebuildIndexes rebuilds every table's primary index from the slab in

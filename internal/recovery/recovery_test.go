@@ -328,8 +328,11 @@ func TestBreakdownViaRecovery(t *testing.T) {
 	if bd.Get(sched.PhaseWork) == 0 || bd.Get(sched.PhaseLoad) == 0 {
 		t.Errorf("breakdown incomplete: %+v", bd.Shares())
 	}
-	if res.LogReload == 0 || res.LogTotal < res.LogReload {
-		t.Errorf("reload/total times inconsistent: %v / %v", res.LogReload, res.LogTotal)
+	// LogReload sums read+decode across concurrent workers, so it may
+	// exceed wall time; the wall-clock invariant holds for ReloadWall.
+	if res.LogReload == 0 || res.LogTotal < res.ReloadWall {
+		t.Errorf("reload/total times inconsistent: work %v, wall %v, total %v",
+			res.LogReload, res.ReloadWall, res.LogTotal)
 	}
 }
 

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"pacman/internal/analysis"
+	"pacman/internal/metrics"
+	"pacman/internal/wal"
+	"pacman/internal/workload"
+)
+
+func bankReplayer(t testing.TB, accounts int, mode Mode, threads int) (*workload.Bank, *Replayer) {
+	t.Helper()
+	b := workload.NewBank(accounts)
+	b.Populate(workload.DirectPopulate{})
+	gdg := analysis.BuildGDG([]*analysis.LDG{
+		analysis.BuildLDG(b.Transfer), analysis.BuildLDG(b.Deposit)})
+	return b, New(gdg, b.Registry(), b.DB(), Options{Threads: threads, Mode: mode})
+}
+
+// TestConsumeFeed drives the replayer through the streaming handoff the
+// reload pipeline uses: incremental epoch-ordered batches over a channel.
+func TestConsumeFeed(t *testing.T) {
+	live, entries := runBankWorkload(t, 40, 300, 11)
+	for _, mode := range []Mode{StaticOnly, Synchronous, Pipelined} {
+		b, r := bankReplayer(t, 40, mode, 2)
+		feed := make(chan wal.Batch)
+		go func() {
+			defer close(feed)
+			const batchSize = 25
+			for lo := 0; lo < len(entries); lo += batchSize {
+				hi := lo + batchSize
+				if hi > len(entries) {
+					hi = len(entries)
+				}
+				feed <- wal.Batch{Batch: uint32(lo / batchSize), Entries: entries[lo:hi]}
+			}
+		}()
+		n, err := r.Consume(feed, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if n != len(entries) {
+			t.Fatalf("%v: consumed %d entries, want %d", mode, n, len(entries))
+		}
+		diffStates(t, snapshotState(live.DB()), snapshotState(b.DB()), mode.String())
+	}
+}
+
+// TestConsumeFeedError: a feed error must abort the replay and surface.
+func TestConsumeFeedError(t *testing.T) {
+	_, entries := runBankWorkload(t, 40, 60, 12)
+	_, r := bankReplayer(t, 40, Pipelined, 2)
+	bang := errors.New("device exploded")
+	feed := make(chan wal.Batch, 2)
+	feed <- wal.Batch{Batch: 0, Entries: entries[:10]}
+	feed <- wal.Batch{Batch: 1, Err: bang}
+	close(feed)
+	var stall metrics.DurationSum
+	n, err := r.Consume(feed, &stall)
+	if !errors.Is(err, bang) {
+		t.Fatalf("err = %v, want %v", err, bang)
+	}
+	if n != 10 {
+		t.Fatalf("consumed %d entries before the error, want 10", n)
+	}
+	if stall.Load() <= 0 {
+		t.Fatal("stall accumulator never charged")
+	}
+}

@@ -223,6 +223,35 @@ func (r *Replayer) Submit(entries []*wal.Entry) {
 	}
 }
 
+// Consume drains an epoch-ordered feed of reloaded batches — the streaming
+// handoff from wal.Reloader — submitting each batch as it arrives and
+// finishing when the feed closes. Time spent blocked on the feed is reload
+// starvation; it accumulates into stall when non-nil (recovery charges it
+// to the Figure 20 loading phase). It returns the number of entries
+// submitted and the first error; a feed error aborts the replay after the
+// in-flight batches complete.
+func (r *Replayer) Consume(feed <-chan wal.Batch, stall *metrics.DurationSum) (int, error) {
+	r.Start()
+	entries := 0
+	for {
+		t0 := time.Now()
+		b, ok := <-feed
+		if stall != nil {
+			stall.AddSince(t0)
+		}
+		if !ok {
+			break
+		}
+		if b.Err != nil {
+			r.Finish()
+			return entries, b.Err
+		}
+		entries += len(b.Entries)
+		r.Submit(b.Entries)
+	}
+	return entries, r.Finish()
+}
+
 // Finish waits for all submitted batches and returns the first error.
 func (r *Replayer) Finish() error {
 	for _, br := range r.runners {

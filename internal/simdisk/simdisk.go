@@ -73,6 +73,7 @@ type Device struct {
 	bytesRead    atomic.Int64
 	syncs        atomic.Int64
 	busy         atomic.Int64 // nanoseconds of modeled service time
+	readBusy     atomic.Int64 // read share of busy, for reload accounting
 }
 
 type file struct {
@@ -97,7 +98,14 @@ type Stats struct {
 	// Busy is the total modeled service time; Busy/elapsed approximates
 	// utilization.
 	Busy time.Duration
+	// ReadBusy is the read share of Busy. Recovery's reload pipeline uses
+	// it to report per-device read bandwidth actually achieved; writes and
+	// syncs account for the remainder.
+	ReadBusy time.Duration
 }
+
+// WriteBusy returns the write+sync share of the modeled service time.
+func (s Stats) WriteBusy() time.Duration { return s.Busy - s.ReadBusy }
 
 // Stats returns the device's cumulative traffic counters.
 func (d *Device) Stats() Stats {
@@ -106,6 +114,7 @@ func (d *Device) Stats() Stats {
 		BytesRead:    d.bytesRead.Load(),
 		Syncs:        d.syncs.Load(),
 		Busy:         time.Duration(d.busy.Load()),
+		ReadBusy:     time.Duration(d.readBusy.Load()),
 	}
 }
 
@@ -115,6 +124,7 @@ func (d *Device) ResetStats() {
 	d.bytesRead.Store(0)
 	d.syncs.Store(0)
 	d.busy.Store(0)
+	d.readBusy.Store(0)
 }
 
 // occupy reserves dur of device time and sleeps until the reservation
@@ -135,6 +145,15 @@ func (d *Device) occupy(dur time.Duration) {
 	if wait > 0 {
 		time.Sleep(wait)
 	}
+}
+
+// occupyRead is occupy with the duration also charged to the read account.
+// Concurrent readers (the reload pipeline opens one per batch file) queue
+// through the same device reservation, so a device's read throughput never
+// exceeds its configured bandwidth no matter the reader fan-out.
+func (d *Device) occupyRead(dur time.Duration) {
+	d.readBusy.Add(int64(dur))
+	d.occupy(dur)
 }
 
 func transferTime(n int64, bw int64) time.Duration {
@@ -276,7 +295,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 		return 0, io.EOF
 	}
 	r.dev.bytesRead.Add(int64(n))
-	r.dev.occupy(transferTime(int64(n), r.dev.cfg.ReadBandwidth))
+	r.dev.occupyRead(transferTime(int64(n), r.dev.cfg.ReadBandwidth))
 	return n, nil
 }
 
@@ -287,7 +306,7 @@ func (r *Reader) ReadAll() ([]byte, error) {
 	r.off = len(r.f.data)
 	r.f.mu.Unlock()
 	r.dev.bytesRead.Add(int64(len(out)))
-	r.dev.occupy(transferTime(int64(len(out)), r.dev.cfg.ReadBandwidth))
+	r.dev.occupyRead(transferTime(int64(len(out)), r.dev.cfg.ReadBandwidth))
 	return out, nil
 }
 
@@ -341,6 +360,7 @@ func (p *Pool) Stats() Stats {
 		s.BytesRead += ds.BytesRead
 		s.Syncs += ds.Syncs
 		s.Busy += ds.Busy
+		s.ReadBusy += ds.ReadBusy
 	}
 	return s
 }

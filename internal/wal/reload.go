@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"pacman/internal/engine"
 	"pacman/internal/simdisk"
@@ -57,28 +58,40 @@ func parseBatchName(name string) (uint32, error) {
 	return uint32(b), nil
 }
 
-// ReloadStats reports what reloading observed.
+// ReloadStats reports what reloading observed. ReadTime and DecodeTime are
+// summed across the files' concurrent readers, so either reload path (the
+// batch-at-a-time ReloadBatch or the streaming Reloader) reports the same
+// "reload work" quantity and the two stay comparable.
 type ReloadStats struct {
 	Entries   int
 	TornFiles int
 	Dropped   int // entries beyond the persistent epoch
-	Bytes     int64
+	// Filtered counts entries dropped because a checkpoint already covered
+	// them (TS <= the caller's checkpoint TS).
+	Filtered   int
+	Bytes      int64
+	ReadTime   time.Duration
+	DecodeTime time.Duration
 }
 
 // ReloadBatch reads and decodes one batch's files with up to `threads`
-// parallel readers, drops entries beyond pepoch, and returns the entries
-// sorted by commit timestamp — the strict commitment order the replay
-// schemes require.
-func ReloadBatch(bf BatchFiles, pepoch uint32, threads int) ([]*Entry, ReloadStats, error) {
+// parallel readers, drops entries beyond pepoch and entries a checkpoint
+// already covers (TS <= ckptTS; 0 disables the filter), and returns the
+// entries sorted by commit timestamp — the strict commitment order the
+// replay schemes require.
+func ReloadBatch(bf BatchFiles, pepoch uint32, ckptTS engine.TS, threads int) ([]*Entry, ReloadStats, error) {
 	if threads < 1 {
 		threads = 1
 	}
 	type fileResult struct {
-		entries []*Entry
-		torn    bool
-		dropped int
-		bytes   int64
-		err     error
+		entries    []*Entry
+		torn       bool
+		dropped    int
+		filtered   int
+		bytes      int64
+		readTime   time.Duration
+		decodeTime time.Duration
+		err        error
 	}
 	results := make([]fileResult, len(bf.Files))
 	var wg sync.WaitGroup
@@ -89,40 +102,30 @@ func ReloadBatch(bf BatchFiles, pepoch uint32, threads int) ([]*Entry, ReloadSta
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			t0 := time.Now()
 			r, err := f.Device.Open(f.Name)
 			if err != nil {
 				results[i].err = err
 				return
 			}
 			data, err := r.ReadAll()
+			results[i].readTime = time.Since(t0)
 			if err != nil {
 				results[i].err = err
 				return
 			}
 			results[i].bytes = int64(len(data))
-			kind, _, _, rest, err := decodeFileHeader(data)
+			t1 := time.Now()
+			entries, torn, dropped, filtered, err := decodeFile(data, pepoch, ckptTS)
+			results[i].decodeTime = time.Since(t1)
 			if err != nil {
 				results[i].err = fmt.Errorf("%s: %w", f.Name, err)
 				return
 			}
-			for len(rest) > 0 {
-				e, n, err := decodeRecord(rest, kind)
-				if err != nil {
-					results[i].err = fmt.Errorf("%s: %w", f.Name, err)
-					return
-				}
-				if n == 0 {
-					// Torn or corrupt tail: everything before it is valid.
-					results[i].torn = true
-					break
-				}
-				rest = rest[n:]
-				if e.Epoch() > pepoch {
-					results[i].dropped++
-					continue
-				}
-				results[i].entries = append(results[i].entries, e)
-			}
+			results[i].entries = entries
+			results[i].torn = torn
+			results[i].dropped = dropped
+			results[i].filtered = filtered
 		}(i, f)
 	}
 	wg.Wait()
@@ -138,11 +141,48 @@ func ReloadBatch(bf BatchFiles, pepoch uint32, threads int) ([]*Entry, ReloadSta
 			stats.TornFiles++
 		}
 		stats.Dropped += r.dropped
+		stats.Filtered += r.filtered
 		stats.Bytes += r.bytes
+		stats.ReadTime += r.readTime
+		stats.DecodeTime += r.decodeTime
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].TS < all[j].TS })
 	stats.Entries = len(all)
 	return all, stats, nil
+}
+
+// decodeFile decodes one batch file's records: entries beyond pepoch are
+// dropped, and when ckptTS is non-zero so are entries a checkpoint already
+// covers (TS <= ckptTS). Both the batch-at-a-time ReloadBatch and the
+// streaming Reloader decode through here, so the two reload paths cannot
+// diverge.
+func decodeFile(data []byte, pepoch uint32, ckptTS engine.TS) (entries []*Entry, torn bool, dropped, filtered int, err error) {
+	kind, _, _, rest, err := decodeFileHeader(data)
+	if err != nil {
+		return nil, false, 0, 0, err
+	}
+	for len(rest) > 0 {
+		e, n, err := decodeRecord(rest, kind)
+		if err != nil {
+			return nil, false, dropped, filtered, err
+		}
+		if n == 0 {
+			// Torn or corrupt tail: everything before it is valid.
+			torn = true
+			break
+		}
+		rest = rest[n:]
+		if e.Epoch() > pepoch {
+			dropped++
+			continue
+		}
+		if ckptTS > 0 && e.TS <= ckptTS {
+			filtered++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, torn, dropped, filtered, nil
 }
 
 // ReloadAll reloads every batch in order and concatenates the entries —
@@ -156,7 +196,7 @@ func ReloadAll(devices []*simdisk.Device, pepoch uint32, threads int) ([]*Entry,
 	var all []*Entry
 	var total ReloadStats
 	for _, bf := range batches {
-		es, st, err := ReloadBatch(bf, pepoch, threads)
+		es, st, err := ReloadBatch(bf, pepoch, 0, threads)
 		if err != nil {
 			return nil, total, err
 		}
@@ -165,6 +205,8 @@ func ReloadAll(devices []*simdisk.Device, pepoch uint32, threads int) ([]*Entry,
 		total.TornFiles += st.TornFiles
 		total.Dropped += st.Dropped
 		total.Bytes += st.Bytes
+		total.ReadTime += st.ReadTime
+		total.DecodeTime += st.DecodeTime
 	}
 	return all, total, nil
 }

@@ -415,6 +415,12 @@ type RecoverConfig struct {
 	Breakdown *Breakdown
 	// SkipCheckpoint ignores checkpoints on the devices.
 	SkipCheckpoint bool
+	// SerialReload uses the legacy one-batch-at-a-time log feeder instead
+	// of the pipelined multi-device reloader (baseline measurements only).
+	SerialReload bool
+	// ReloadWindow bounds how many batches the pipelined reloader stages
+	// ahead of replay (default 4).
+	ReloadWindow int
 }
 
 // Breakdown re-exports the metrics breakdown for recovery instrumentation.
@@ -442,6 +448,8 @@ func (d *DB) Recover(from []*Device, scheme Scheme, cfg RecoverConfig) (*Recover
 		Mode:           cfg.Mode,
 		Breakdown:      cfg.Breakdown,
 		SkipCheckpoint: cfg.SkipCheckpoint,
+		SerialReload:   cfg.SerialReload,
+		ReloadWindow:   cfg.ReloadWindow,
 	}
 	if scheme == recovery.CLRP {
 		opts.GDG = d.Analyze()
