@@ -2,7 +2,10 @@
 # targets so the two can't drift.
 GO ?= go
 
-RACE_PKGS := ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/...
+# The root package carries the public-API frontend/future tests (64 clients
+# over 8 sessions, crash resolution); internal/frontend has the pool-level
+# drain/backpressure/ordering tests.
+RACE_PKGS := . ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/...
 
 .PHONY: check fmt vet build test race smoke bench
 
@@ -26,9 +29,10 @@ race:
 
 # A tiny end-to-end run of the bench binary: logs a short smallbank run on
 # two simulated devices and recovers it with every scheme through both the
-# serial and pipelined reload paths.
+# serial and pipelined reload paths, then reports durable-commit latency
+# percentiles from the frontend's futures.
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload -duration 300ms -workers 2
+	$(GO) run ./cmd/pacman-bench -exp reload,latency -duration 300ms -workers 2
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pacman"
+	"pacman/internal/metrics"
 	"pacman/internal/proc"
 	"pacman/internal/tuple"
 	"pacman/internal/workload"
@@ -55,31 +56,46 @@ func main() {
 	defineBank(db)
 	db.Start()
 
-	// 2. Run a few thousand transfers and deposits.
+	// 2. Run a few thousand transfers and deposits through the frontend:
+	// submissions return at execution, futures resolve at group-commit
+	// release, and the bounded session pool heartbeats internally.
 	fmt.Println("running 5000 transactions under command logging...")
-	sess := db.Session()
+	fe, err := db.NewFrontend(pacman.FrontendConfig{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	start := time.Now()
+	futs := make([]*pacman.Future, 0, 5000)
 	for i := 0; i < 5000; i++ {
 		acct := proc.A(tuple.I(int64(1 + rng.Intn(accounts))))
-		var err error
 		if rng.Intn(2) == 0 {
-			_, err = sess.Exec("Transfer", pacman.Args{acct, proc.A(tuple.I(int64(1 + rng.Intn(100))))})
+			futs = append(futs, fe.Submit("Transfer",
+				pacman.Args{acct, proc.A(tuple.I(int64(1 + rng.Intn(100))))}))
 		} else {
-			_, err = sess.Exec("Deposit", pacman.Args{
+			futs = append(futs, fe.Submit("Deposit", pacman.Args{
 				acct,
 				proc.A(tuple.I(int64(1 + rng.Intn(5000)))),
 				proc.A(tuple.I(int64(1 + rng.Intn(50)))),
-			})
-		}
-		if err != nil {
-			log.Fatalf("txn %d: %v", i, err)
+			}))
 		}
 	}
+	execHist, durHist := &metrics.Histogram{}, &metrics.Histogram{}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			log.Fatalf("txn %d: %v", i, err)
+		}
+		execHist.Record(f.ExecLatency())
+		durHist.Record(f.DurableLatency())
+	}
 	elapsed := time.Since(start)
-	fmt.Printf("  %d txns in %v (%.0f tps)\n", 5000, elapsed.Round(time.Millisecond),
-		5000/elapsed.Seconds())
-	sess.Retire()
+	fmt.Printf("  %d durable txns in %v (%.0f tps)\n", len(futs),
+		elapsed.Round(time.Millisecond), float64(len(futs))/elapsed.Seconds())
+	fmt.Printf("  latency: exec p50 %v / durable p50 %v / durable p99 %v\n",
+		execHist.Percentile(50).Round(time.Microsecond),
+		durHist.Percentile(50).Round(time.Microsecond),
+		durHist.Percentile(99).Round(time.Microsecond))
+	fe.Close()
 
 	// 3. Flush everything, remember account 1's balance, then crash.
 	db.Close()

@@ -15,7 +15,9 @@ import (
 
 	"pacman"
 	"pacman/internal/engine"
+	"pacman/internal/metrics"
 	"pacman/internal/proc"
+	"pacman/internal/txn"
 	"pacman/internal/workload"
 )
 
@@ -42,29 +44,41 @@ func main() {
 	db.Start()
 	fmt.Printf("Smallbank: %d customers, %d txns, %d%% ad-hoc\n", *customers, *txns, *adhoc)
 
-	sess := db.Session()
+	fe, err := db.NewFrontend(pacman.FrontendConfig{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(42))
 	start := time.Now()
 	committed := 0
-	for i := 0; i < *txns; i++ {
-		tx := w.Generate(rng)
-		var err error
-		if rng.Intn(100) < *adhoc && !tx.ReadOnly {
-			_, err = sess.ExecAdHoc(tx.Proc.Name(), tx.Args)
-		} else {
-			_, err = sess.Exec(tx.Proc.Name(), tx.Args)
-		}
-		if err != nil {
+	durHist := &metrics.Histogram{}
+	// Keep a bounded window of unresolved futures in flight; the window
+	// settles the oldest when full, Drain settles the stragglers.
+	window := txn.NewWindow(512, func(fut *pacman.Future, tx workload.Txn) {
+		if _, err := fut.Wait(); err != nil {
 			if tx.MayAbort && errors.Is(err, proc.ErrAborted) {
-				continue
+				return
 			}
 			log.Fatalf("%s: %v", tx.Proc.Name(), err)
 		}
+		durHist.Record(fut.DurableLatency())
 		committed++
+	})
+	for i := 0; i < *txns; i++ {
+		tx := w.Generate(rng)
+		if rng.Intn(100) < *adhoc && !tx.ReadOnly {
+			window.Add(fe.SubmitAdHoc(tx.Proc.Name(), tx.Args), tx)
+		} else {
+			window.Add(fe.Submit(tx.Proc.Name(), tx.Args), tx)
+		}
 	}
+	window.Drain()
 	elapsed := time.Since(start)
-	fmt.Printf("  committed %d (%.0f tps)\n", committed, float64(committed)/elapsed.Seconds())
-	sess.Retire()
+	fmt.Printf("  committed %d durable (%.0f tps, durable p50 %v p99 %v)\n",
+		committed, float64(committed)/elapsed.Seconds(),
+		durHist.Percentile(50).Round(time.Microsecond),
+		durHist.Percentile(99).Round(time.Microsecond))
+	fe.Close()
 	db.Close()
 
 	// Sum all balances for verification.

@@ -1,0 +1,96 @@
+package pacman
+
+import (
+	"fmt"
+	"time"
+
+	"pacman/internal/frontend"
+	"pacman/internal/txn"
+)
+
+// ErrFrontendClosed resolves Futures submitted to a closed Frontend. It is
+// deliberately distinct from ErrClosed/ErrCrashed: a Future carrying
+// ErrFrontendClosed was rejected at the queue and NEVER executed, while
+// the other two mean the transaction executed but missed durability.
+var ErrFrontendClosed = frontend.ErrClosed
+
+// FrontendConfig tunes a Frontend.
+type FrontendConfig struct {
+	// Workers is the session-pool size client requests are multiplexed
+	// onto (default 4).
+	Workers int
+	// Queue is the submission-queue capacity. A full queue blocks Submit
+	// (backpressure) instead of buffering without bound (default
+	// 4×Workers).
+	Queue int
+}
+
+// Frontend is the multiplexing client surface: any number of concurrent
+// goroutines submit stored-procedure invocations through a bounded queue
+// onto a fixed session pool. Submit returns a durable-commit Future;
+// Exec is the synchronous variant that waits for group-commit release.
+// The Frontend heartbeats its idle sessions internally, so callers never
+// touch Session.Heartbeat, and Close drains the queue before retiring the
+// pool.
+type Frontend struct {
+	d  *DB
+	fe *frontend.Frontend
+}
+
+// NewFrontend creates a frontend over a started database, or returns
+// ErrNotStarted.
+func (d *DB) NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	if !d.started {
+		return nil, ErrNotStarted
+	}
+	fe := frontend.New(d.mgr, d.logset, frontend.Config{
+		Workers: cfg.Workers,
+		Queue:   cfg.Queue,
+	})
+	return &Frontend{d: d, fe: fe}, nil
+}
+
+// Submit queues one invocation and returns its durable-commit Future. It
+// blocks only when the submission queue is full.
+func (f *Frontend) Submit(name string, args Args) *Future {
+	return f.submit(name, args, false)
+}
+
+// SubmitAdHoc is Submit for ad-hoc transactions (tuple-level logging even
+// under command logging, Section 4.5).
+func (f *Frontend) SubmitAdHoc(name string, args Args) *Future {
+	return f.submit(name, args, true)
+}
+
+func (f *Frontend) submit(name string, args Args, adHoc bool) *Future {
+	c := f.d.reg.ByName(name)
+	if c == nil {
+		fut := txn.NewFuture(time.Now())
+		fut.Resolve(time.Now(), fmt.Errorf("pacman: unknown procedure %q", name))
+		return fut
+	}
+	if adHoc {
+		return f.fe.SubmitAdHoc(c, args)
+	}
+	return f.fe.Submit(c, args)
+}
+
+// Exec submits and waits for durability: when it returns with a nil error,
+// the transaction's epoch has been group-commit released.
+func (f *Frontend) Exec(name string, args Args) (TS, error) {
+	return f.Submit(name, args).Wait()
+}
+
+// ExecAdHoc is Exec for ad-hoc transactions.
+func (f *Frontend) ExecAdHoc(name string, args Args) (TS, error) {
+	return f.SubmitAdHoc(name, args).Wait()
+}
+
+// Sessions returns the pool size (the number of sessions client goroutines
+// share).
+func (f *Frontend) Sessions() int { return len(f.fe.Workers()) }
+
+// Close drains queued submissions, rejects late ones with
+// ErrFrontendClosed, and retires the session pool. Futures of drained work
+// resolve through the normal release path.
+func (f *Frontend) Close() { f.fe.Close() }

@@ -1,0 +1,201 @@
+// Package frontend multiplexes many concurrent client goroutines onto a
+// bounded pool of transaction workers. Clients hand stored-procedure
+// invocations to a submission queue and get a durable-commit future back;
+// pool workers execute them and the wal release path resolves the futures
+// as epochs are group-commit released. The pool owns the SiloR liveness
+// contract internally — idle workers heartbeat on a ticker so group commit
+// never stalls on an idle session — which removes the caller-visible
+// Heartbeat footgun from the happy path.
+//
+// The queue is bounded: when every worker is busy and the queue is full,
+// Submit blocks (backpressure) instead of growing without bound. Close
+// drains: submissions already queued are executed, late submissions resolve
+// with ErrClosed, and the pool's workers are retired so the safe epoch can
+// advance past their last commits.
+package frontend
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/txn"
+	"pacman/internal/wal"
+)
+
+// ErrClosed resolves futures submitted to a closed (or closing) frontend.
+var ErrClosed = errors.New("frontend: closed")
+
+// Config tunes a Frontend.
+type Config struct {
+	// Workers is the pool size: the number of transaction workers client
+	// requests are multiplexed onto (default 4).
+	Workers int
+	// Queue is the submission-queue capacity; a full queue blocks Submit
+	// (default 4×Workers).
+	Queue int
+	// Heartbeat is the idle-worker liveness cadence (default half the
+	// manager's epoch interval).
+	Heartbeat time.Duration
+}
+
+type request struct {
+	p     *proc.Compiled
+	args  proc.Args
+	adHoc bool
+	fut   *txn.Future
+}
+
+// Frontend is a bounded worker pool over a submission queue.
+type Frontend struct {
+	reqs    chan request
+	closing chan struct{} // closed first: rejects new submissions
+	drainCh chan struct{} // closed once submitters settle: workers drain and exit
+
+	submitWG sync.WaitGroup // in-flight Submit calls
+	workerWG sync.WaitGroup
+	closed   atomic.Bool
+
+	workers   []*txn.Worker
+	executed  atomic.Int64
+	hbEvery   time.Duration
+	closeOnce sync.Once
+}
+
+// New builds a frontend over the manager's execution path. Pool workers are
+// created and attached to the log set (when non-nil) immediately; the pool
+// goroutines start running before New returns.
+func New(mgr *txn.Manager, ls *wal.LogSet, cfg Config) *Frontend {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = mgr.Config().EpochInterval / 2
+		if cfg.Heartbeat <= 0 {
+			cfg.Heartbeat = time.Millisecond
+		}
+	}
+	f := &Frontend{
+		reqs:    make(chan request, cfg.Queue),
+		closing: make(chan struct{}),
+		drainCh: make(chan struct{}),
+		hbEvery: cfg.Heartbeat,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := mgr.NewWorker()
+		if ls != nil {
+			ls.AttachWorker(w)
+		}
+		f.workers = append(f.workers, w)
+	}
+	for _, w := range f.workers {
+		f.workerWG.Add(1)
+		go f.run(w)
+	}
+	return f
+}
+
+// run is one pool worker: execute queued requests, heartbeat while idle,
+// and on shutdown drain whatever is left in the queue before exiting.
+func (f *Frontend) run(w *txn.Worker) {
+	defer f.workerWG.Done()
+	hb := time.NewTicker(f.hbEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case r := <-f.reqs:
+			f.handle(w, r)
+		case <-hb.C:
+			// Safe: this goroutine has no transaction in flight here.
+			w.Heartbeat()
+		case <-f.drainCh:
+			for {
+				select {
+				case r := <-f.reqs:
+					f.handle(w, r)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (f *Frontend) handle(w *txn.Worker, r request) {
+	w.ExecuteFuture(r.fut, r.p, r.args, r.adHoc)
+	f.executed.Add(1)
+}
+
+// Submit queues one invocation and returns its durable-commit future. It
+// blocks only for queue space (backpressure), never for execution or
+// durability. On a closed frontend the future resolves with ErrClosed.
+func (f *Frontend) Submit(p *proc.Compiled, args proc.Args) *txn.Future {
+	return f.submit(p, args, false)
+}
+
+// SubmitAdHoc is Submit for ad-hoc transactions (tuple-level logging even
+// under command logging, Section 4.5).
+func (f *Frontend) SubmitAdHoc(p *proc.Compiled, args proc.Args) *txn.Future {
+	return f.submit(p, args, true)
+}
+
+func (f *Frontend) submit(p *proc.Compiled, args proc.Args, adHoc bool) *txn.Future {
+	fut := txn.NewFuture(time.Now())
+	f.submitWG.Add(1)
+	defer f.submitWG.Done()
+	if f.closed.Load() {
+		fut.Resolve(time.Now(), ErrClosed)
+		return fut
+	}
+	select {
+	case f.reqs <- request{p: p, args: args, adHoc: adHoc, fut: fut}:
+	case <-f.closing:
+		fut.Resolve(time.Now(), ErrClosed)
+	}
+	return fut
+}
+
+// Exec is the synchronous durable path: Submit and wait for group-commit
+// release. The returned timestamp is durable (or err explains why not).
+func (f *Frontend) Exec(p *proc.Compiled, args proc.Args) (engine.TS, error) {
+	return f.Submit(p, args).Wait()
+}
+
+// ExecAdHoc is Exec for ad-hoc transactions.
+func (f *Frontend) ExecAdHoc(p *proc.Compiled, args proc.Args) (engine.TS, error) {
+	return f.SubmitAdHoc(p, args).Wait()
+}
+
+// Workers returns the pool's worker handles (tests and instrumentation).
+func (f *Frontend) Workers() []*txn.Worker {
+	return append([]*txn.Worker(nil), f.workers...)
+}
+
+// Executed returns how many requests pool workers have run so far.
+func (f *Frontend) Executed() int64 { return f.executed.Load() }
+
+// Close drains and shuts the pool down: new submissions resolve with
+// ErrClosed, requests already queued are executed, and the pool workers are
+// retired once idle so group commit advances past their final epochs. Close
+// does not wait for the drained requests' durability — their futures
+// resolve through the normal release path (or the log set's Close/Abort).
+func (f *Frontend) Close() {
+	f.closeOnce.Do(func() {
+		f.closed.Store(true)
+		close(f.closing)
+		// Wait out in-flight Submit calls: each has either enqueued (the
+		// drain below will run it) or been rejected via the closing channel.
+		f.submitWG.Wait()
+		close(f.drainCh)
+		f.workerWG.Wait()
+		for _, w := range f.workers {
+			w.Retire()
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"pacman/internal/checkpoint"
 	"pacman/internal/chopping"
 	"pacman/internal/engine"
+	"pacman/internal/frontend"
 	"pacman/internal/metrics"
 	"pacman/internal/proc"
 	"pacman/internal/recovery"
@@ -45,9 +46,13 @@ type RunConfig struct {
 	Logging      wal.Kind
 	Devices      int
 	DeviceConfig simdisk.Config
-	// Workers is the number of transaction-execution goroutines (the
-	// paper's 32 worker threads, scaled).
+	// Workers is the frontend pool size: the number of transaction-
+	// execution workers (the paper's 32 worker threads, scaled).
 	Workers int
+	// Clients is the number of client goroutines multiplexed onto the
+	// worker pool through the frontend (default: Workers). Raising it
+	// models many logical requests in flight over a bounded pool.
+	Clients int
 	// Duration bounds the run (alternative: Txns).
 	Duration time.Duration
 	// Txns bounds the run by transaction count (0 = use Duration).
@@ -85,6 +90,9 @@ func (c RunConfig) Defaults() RunConfig {
 	}
 	if c.Workers == 0 {
 		c.Workers = 4
+	}
+	if c.Clients == 0 {
+		c.Clients = c.Workers
 	}
 	if c.Duration == 0 && c.Txns == 0 {
 		c.Duration = 2 * time.Second
@@ -130,9 +138,13 @@ type RunResult struct {
 	Elapsed   time.Duration
 	// TPS is the overall committed throughput.
 	TPS float64
-	// Latency is end-to-end (submit to durability release); with logging
-	// off it is commit latency.
+	// Latency is end-to-end durable latency (submit to group-commit
+	// release), from Future timestamps; with logging off it is commit
+	// latency.
 	Latency *metrics.Histogram
+	// ExecLatency is submit-to-commit latency (execution only), from the
+	// same Futures — the gap to Latency is the group-commit wait.
+	ExecLatency *metrics.Histogram
 	// LogBytes is the total volume written to the devices by loggers and
 	// checkpointers.
 	LogBytes int64
@@ -144,9 +156,17 @@ type RunResult struct {
 	cfg     RunConfig
 }
 
-// Run executes one OLTP run and leaves the devices crashed (durable
-// prefixes only), ready for recovery. With clean=true everything is flushed
-// before the crash, making recovery volume deterministic.
+// maxInFlight bounds how many unresolved futures one client goroutine
+// keeps before it starts waiting on the oldest — client-side flow control
+// on top of the frontend queue's backpressure.
+const maxInFlight = 256
+
+// Run executes one OLTP run through a multiplexing frontend — cfg.Clients
+// client goroutines submit asynchronously over a pool of cfg.Workers
+// transaction workers, accounting results as durable-commit futures
+// resolve — and leaves the devices crashed (durable prefixes only), ready
+// for recovery. With clean=true everything is flushed before the crash,
+// making recovery volume deterministic.
 func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	cfg = cfg.Defaults()
 	w := cfg.makeWorkload()
@@ -160,19 +180,18 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	for i := 0; i < cfg.Devices; i++ {
 		devices = append(devices, simdisk.New(fmt.Sprintf("ssd%d", i), cfg.DeviceConfig))
 	}
-	res := &RunResult{Latency: &metrics.Histogram{}, Devices: devices, cfg: cfg}
+	res := &RunResult{
+		Latency:     &metrics.Histogram{},
+		ExecLatency: &metrics.Histogram{},
+		Devices:     devices,
+		cfg:         cfg,
+	}
 
 	lcfg := wal.Config{
 		Kind:          cfg.Logging,
 		BatchEpochs:   cfg.BatchEpochs,
 		FlushInterval: cfg.EpochInterval / 4,
 		Sync:          !cfg.DisableSync,
-		OnRelease: func(cs []*txn.Committed) {
-			now := time.Now()
-			for _, c := range cs {
-				res.Latency.Record(now.Sub(c.Start))
-			}
-		},
 	}
 	ls := wal.NewLogSet(mgr, lcfg, devices)
 	mgr.StartEpochTicker()
@@ -187,26 +206,47 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 		daemon.Start()
 	}
 
+	fe := frontend.New(mgr, ls, frontend.Config{
+		Workers: cfg.Workers,
+		Queue:   4 * cfg.Workers,
+	})
+
 	var committed, aborted atomic.Int64
 	stop := make(chan struct{})
 	var txnBudget atomic.Int64
 	txnBudget.Store(int64(cfg.Txns))
 
 	var wg sync.WaitGroup
-	workers := make([]*txn.Worker, cfg.Workers)
-	for g := 0; g < cfg.Workers; g++ {
-		workers[g] = mgr.NewWorker()
-		ls.AttachWorker(workers[g])
-	}
 	start := time.Now()
-	for g := 0; g < cfg.Workers; g++ {
+	for g := 0; g < cfg.Clients; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			wkr := workers[g]
-			defer wkr.Retire()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7919))
-			for {
+			// Settle waits one future and folds its outcome into the run
+			// counters; a hard error stops this client.
+			stopped := false
+			window := txn.NewWindow(maxInFlight, func(fut *txn.Future, mayAbort bool) {
+				_, err := fut.Wait()
+				switch {
+				case err == nil:
+					committed.Add(1)
+					res.Latency.Record(fut.DurableLatency())
+					res.ExecLatency.Record(fut.ExecLatency())
+				case errors.Is(err, wal.ErrCrashed) || errors.Is(err, wal.ErrClosed):
+					// Executed, but the run ended before release: committed
+					// in memory, not durable. No latency sample.
+					committed.Add(1)
+				case mayAbort && errors.Is(err, proc.ErrAborted):
+					aborted.Add(1)
+				default:
+					// OCC exhaustion or bug: record and stop this client.
+					aborted.Add(1)
+					stopped = true
+				}
+			})
+			defer window.Drain()
+			for !stopped {
 				select {
 				case <-stop:
 					return
@@ -217,22 +257,10 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 				}
 				tx := w.Generate(rng)
 				adhoc := !tx.ReadOnly && cfg.AdHocPct > 0 && rng.Intn(100) < cfg.AdHocPct
-				txnStart := time.Now()
-				_, err := wkr.Execute(tx.Proc, tx.Args, adhoc, txnStart)
-				switch {
-				case err == nil:
-					committed.Add(1)
-					// Durable transactions get their end-to-end latency from
-					// the release callback; unlogged ones finish at commit.
-					if cfg.Logging == wal.Off || tx.ReadOnly {
-						res.Latency.Record(time.Since(txnStart))
-					}
-				case tx.MayAbort && errors.Is(err, proc.ErrAborted):
-					aborted.Add(1)
-				default:
-					// OCC exhaustion or bug: record and stop this worker.
-					aborted.Add(1)
-					return
+				if adhoc {
+					window.Add(fe.SubmitAdHoc(tx.Proc, tx.Args), tx.MayAbort)
+				} else {
+					window.Add(fe.Submit(tx.Proc, tx.Args), tx.MayAbort)
 				}
 			}
 		}(g)
@@ -268,6 +296,9 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 
+	// Drain the frontend (queued work executes, the pool retires) so the
+	// safe epoch covers every commit before shutdown.
+	fe.Close()
 	if daemon != nil {
 		daemon.Stop()
 	}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pacman/internal/wal"
+	"pacman/internal/workload"
+)
+
+// FigLatency reports per-request durable-commit latency percentiles, the
+// Figure 10-style experiment the Future API makes first-class: Smallbank is
+// driven through the multiplexing frontend (many client goroutines over a
+// bounded worker pool) under command vs. physical logging, and each row
+// reports p50/p95/p99 of the submit-to-release latency taken from Future
+// (ExecAt, DurableAt) timestamps, next to the execution-only latency. The
+// gap between the two columns is the group-commit wait the asynchronous
+// Submit path hides from clients.
+func FigLatency(w io.Writer, s Scale) error {
+	clients := 8 * s.Workers
+	fmt.Fprintln(w, "=== Latency: durable-commit percentiles from Futures (smallbank via frontend) ===")
+	fmt.Fprintf(w, "(%d clients multiplexed over %d workers, %v run, 2 devices)\n",
+		clients, s.Workers, s.Duration)
+	fmt.Fprintf(w, "%-8s | %9s | %10s %10s | %10s %10s %10s\n",
+		"logging", "tps", "exec p50", "exec p99", "durable", "durable", "durable")
+	fmt.Fprintf(w, "%-8s | %9s | %10s %10s | %10s %10s %10s\n",
+		"", "", "", "", "p50", "p95", "p99")
+	for _, kind := range []wal.Kind{wal.Command, wal.Physical} {
+		cfg := s.baseRun(kind, 2)
+		cfg.Workload = Smallbank
+		cfg.SB = workload.DefaultSmallbankConfig()
+		cfg.Clients = clients
+		res, err := Run(cfg, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8v | %9.0f | %10v %10v | %10v %10v %10v\n",
+			kind, res.TPS,
+			res.ExecLatency.Percentile(50).Round(time.Microsecond),
+			res.ExecLatency.Percentile(99).Round(time.Microsecond),
+			res.Latency.Percentile(50).Round(time.Microsecond),
+			res.Latency.Percentile(95).Round(time.Microsecond),
+			res.Latency.Percentile(99).Round(time.Microsecond))
+	}
+	return nil
+}

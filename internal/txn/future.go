@@ -1,0 +1,130 @@
+package txn
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pacman/internal/engine"
+)
+
+// Future is the durable-commit handle of one asynchronously submitted
+// transaction. Under epoch-based group commit a transaction's execution
+// finishes long before its result is durable: the commit record sits in the
+// worker buffer until a logger flushes its epoch and the persistent epoch
+// (pepoch) covers it. A Future separates the two moments — it is returned
+// as soon as execution completes and resolves when the transaction's epoch
+// is group-commit released, or with an error when execution fails or the
+// instance crashes/closes before the commit becomes durable.
+//
+// The result accessors (Wait, TS, Err, ExecAt, DurableAt and the latency
+// helpers) block until resolution; Done exposes the resolution channel for
+// select-based waiting. A Future resolves exactly once and is safe for
+// concurrent use.
+type Future struct {
+	start time.Time
+	done  chan struct{}
+	state atomic.Uint32
+
+	// Written by MarkExecuted on the execution goroutine before the commit
+	// record is published to the durability pipeline (or before Resolve for
+	// immediate resolutions); read only after done is closed.
+	ts     engine.TS
+	execAt time.Time
+
+	// Written by Resolve before done is closed.
+	durableAt time.Time
+	err       error
+}
+
+// NewFuture creates an unresolved future stamped with the submission time.
+func NewFuture(start time.Time) *Future {
+	return &Future{start: start, done: make(chan struct{})}
+}
+
+// MarkExecuted records the execution outcome — commit timestamp and commit
+// wall-clock time — leaving the future unresolved until the durability
+// pipeline releases it. It is called by the execution path only, before the
+// commit record is handed to the loggers.
+func (f *Future) MarkExecuted(ts engine.TS, execAt time.Time) {
+	f.ts = ts
+	f.execAt = execAt
+}
+
+// Resolve completes the future: a nil err means the transaction's epoch is
+// durable (group-commit released). The first call wins; later calls are
+// ignored, so a release racing a crash still resolves exactly once.
+func (f *Future) Resolve(durableAt time.Time, err error) {
+	if !f.state.CompareAndSwap(0, 1) {
+		return
+	}
+	f.durableAt = durableAt
+	f.err = err
+	close(f.done)
+}
+
+// Done returns a channel that is closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until resolution and returns the commit timestamp and the
+// terminal error (nil means executed and durable).
+func (f *Future) Wait() (engine.TS, error) {
+	<-f.done
+	return f.ts, f.err
+}
+
+// TS blocks until resolution and returns the commit timestamp (zero when
+// execution failed).
+func (f *Future) TS() engine.TS {
+	<-f.done
+	return f.ts
+}
+
+// Err blocks until resolution and returns the terminal error.
+func (f *Future) Err() error {
+	<-f.done
+	return f.err
+}
+
+// Epoch blocks until resolution and returns the commit epoch (zero when
+// execution failed).
+func (f *Future) Epoch() uint32 {
+	<-f.done
+	return engine.EpochOf(f.ts)
+}
+
+// Start returns the submission time. It is valid before resolution.
+func (f *Future) Start() time.Time { return f.start }
+
+// ExecAt blocks until resolution and returns when execution committed (zero
+// when execution failed).
+func (f *Future) ExecAt() time.Time {
+	<-f.done
+	return f.execAt
+}
+
+// DurableAt blocks until resolution and returns when the commit was
+// group-commit released (for an errored future: when the error was known).
+func (f *Future) DurableAt() time.Time {
+	<-f.done
+	return f.durableAt
+}
+
+// ExecLatency blocks until resolution and returns submit-to-commit latency
+// (zero when execution failed).
+func (f *Future) ExecLatency() time.Duration {
+	<-f.done
+	if f.execAt.IsZero() {
+		return 0
+	}
+	return f.execAt.Sub(f.start)
+}
+
+// DurableLatency blocks until resolution and returns the end-to-end
+// submit-to-durability latency (zero for errored futures).
+func (f *Future) DurableLatency() time.Duration {
+	<-f.done
+	if f.err != nil || f.durableAt.IsZero() {
+		return 0
+	}
+	return f.durableAt.Sub(f.start)
+}

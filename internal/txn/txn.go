@@ -82,6 +82,10 @@ type Committed struct {
 	// Start is when the client submitted the transaction; the harness uses
 	// it for end-to-end (post-fsync) latency.
 	Start time.Time
+	// Future, when non-nil, is the durable-commit handle the durability
+	// pipeline resolves once this transaction's epoch is group-commit
+	// released (or fails on crash/close).
+	Future *Future
 }
 
 // Manager owns the epoch clock and global sequence and creates workers.
@@ -199,6 +203,15 @@ type Worker struct {
 
 	bufMu sync.Mutex
 	buf   []*Committed
+	// deferred reports whether durability is deferred to a logging
+	// pipeline: futures of buffered commits are resolved by the loggers'
+	// release path instead of at execution. Set by wal.LogSet.AttachWorker
+	// when active loggers exist. Guarded by bufMu.
+	deferred bool
+	// failErr, once set, terminally fails durability for this worker:
+	// every future from then on resolves with it at execution (the
+	// transaction still commits in memory). Guarded by bufMu.
+	failErr error
 }
 
 // ID returns the worker's index.
@@ -220,11 +233,58 @@ func (w *Worker) Heartbeat() {
 	}
 }
 
+// SetDurabilityDeferred declares whether the worker's commits reach
+// durability through a logging pipeline. When true, futures attached to
+// commits resolve at group-commit release; when false (workers without
+// active loggers), they resolve at execution.
+func (w *Worker) SetDurabilityDeferred(on bool) {
+	w.bufMu.Lock()
+	w.deferred = on
+	w.bufMu.Unlock()
+}
+
+// FailDurability terminally fails the worker's durability path: every
+// commit buffered so far has its future resolved with err, and every later
+// execution resolves its future with err immediately (the in-memory commit
+// still succeeds). The logging pipeline calls it on crash and close so no
+// future waits forever.
+func (w *Worker) FailDurability(err error) {
+	w.bufMu.Lock()
+	w.failErr = err
+	buffered := w.buf
+	w.buf = nil
+	w.bufMu.Unlock()
+	now := time.Now()
+	for _, c := range buffered {
+		if c.Future != nil {
+			c.Future.Resolve(now, err)
+		}
+	}
+}
+
 // Execute runs one stored-procedure transaction with OCC retries. It
 // returns the commit timestamp. The committed record (if logging needs it)
 // is buffered for the loggers. adHoc marks the transaction as not
 // command-loggable.
 func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start time.Time) (engine.TS, error) {
+	return w.execute(nil, p, args, adHoc, start)
+}
+
+// ExecuteFuture runs one transaction like Execute and resolves f with its
+// outcome: immediately on an execution error, at commit when the worker's
+// durability is not deferred to a logging pipeline (or the transaction is
+// read-only), and otherwise when the pipeline releases the commit's epoch.
+func (w *Worker) ExecuteFuture(f *Future, p *proc.Compiled, args proc.Args, adHoc bool) (engine.TS, error) {
+	return w.execute(f, p, args, adHoc, f.Start())
+}
+
+func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool, start time.Time) (engine.TS, error) {
+	fail := func(err error) (engine.TS, error) {
+		if f != nil {
+			f.Resolve(time.Now(), err)
+		}
+		return 0, err
+	}
 	// Publish the epoch floor for this attempt; any commit that follows
 	// uses an epoch >= mark.
 	w.mark.Store(uint64(w.mgr.epoch.Load()))
@@ -234,11 +294,16 @@ func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start tim
 		if err == nil {
 			ts, cerr := t.commit()
 			if cerr == nil {
+				execAt := time.Now()
+				if f != nil {
+					f.MarkExecuted(ts, execAt)
+				}
+				attached := false
+				var durErr error
 				// Read-only transactions generate no log records (the paper
 				// ignores them in the analysis for the same reason).
 				if len(t.writes) > 0 {
-					w.bufMu.Lock()
-					w.buf = append(w.buf, &Committed{
+					c := &Committed{
 						TS:     ts,
 						Epoch:  engine.EpochOf(ts),
 						Proc:   p,
@@ -246,13 +311,27 @@ func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start tim
 						AdHoc:  adHoc,
 						Writes: t.writeRecs(),
 						Start:  start,
-					})
+					}
+					w.bufMu.Lock()
+					durErr = w.failErr
+					if f != nil && w.deferred && durErr == nil {
+						c.Future = f
+						attached = true
+					}
+					if durErr == nil {
+						w.buf = append(w.buf, c)
+					}
 					w.bufMu.Unlock()
 				}
 				// The record is buffered; the mark may move up to the
 				// current epoch so group commit is not held back while the
 				// worker sits between transactions.
 				w.mark.Store(uint64(w.mgr.epoch.Load()))
+				if f != nil && !attached {
+					// Nothing to log (or no pipeline, or a dead one):
+					// durability is decided right here.
+					f.Resolve(execAt, durErr)
+				}
 				return ts, nil
 			}
 			err = cerr
@@ -260,17 +339,17 @@ func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start tim
 			t.release()
 		}
 		if errors.Is(err, proc.ErrAborted) {
-			return 0, err
+			return fail(err)
 		}
 		// A duplicate-key error can be a transient artifact of stale reads
 		// (e.g., two NewOrders racing on one district counter: the loser
 		// computed a key from an outdated read); retry like any conflict.
 		// Persistent duplicates exhaust MaxRetries and surface.
 		if !errors.Is(err, ErrConflict) && !errors.Is(err, ErrDuplicateKey) {
-			return 0, err
+			return fail(err)
 		}
 		if attempt >= w.mgr.cfg.MaxRetries {
-			return 0, fmt.Errorf("%w (gave up after %d attempts)", ErrConflict, attempt)
+			return fail(fmt.Errorf("%w (gave up after %d attempts)", ErrConflict, attempt))
 		}
 	}
 }
@@ -294,7 +373,7 @@ func (w *Worker) Drain(maxEpoch uint32) []*Committed {
 	return out
 }
 
-// BufferedLen returns the number of undarined commits (tests).
+// BufferedLen returns the number of undrained commits (tests).
 func (w *Worker) BufferedLen() int {
 	w.bufMu.Lock()
 	defer w.bufMu.Unlock()

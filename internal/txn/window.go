@@ -1,0 +1,51 @@
+package txn
+
+// Window is a bounded buffer of in-flight futures plus per-future caller
+// context: Add appends a submitted future and, when the window is full,
+// settles the oldest one first — client-side flow control on top of the
+// submission queue's backpressure, so an asynchronous submitter never holds
+// more than `capacity` unresolved futures. Drain settles everything left.
+// A Window is owned by one submitting goroutine; it is not safe for
+// concurrent use.
+type Window[T any] struct {
+	capacity int
+	settle   func(*Future, T)
+	pending  []windowEntry[T]
+}
+
+type windowEntry[T any] struct {
+	fut *Future
+	ctx T
+}
+
+// NewWindow creates a window that settles futures through the given
+// callback (typically Future.Wait plus outcome accounting). capacity <= 0
+// defaults to 256.
+func NewWindow[T any](capacity int, settle func(*Future, T)) *Window[T] {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Window[T]{capacity: capacity, settle: settle}
+}
+
+// Add tracks one submitted future with its caller context, settling the
+// oldest future first when the window is at capacity.
+func (w *Window[T]) Add(f *Future, ctx T) {
+	if len(w.pending) == w.capacity {
+		e := w.pending[0]
+		w.pending = w.pending[1:]
+		w.settle(e.fut, e.ctx)
+	}
+	w.pending = append(w.pending, windowEntry[T]{fut: f, ctx: ctx})
+}
+
+// Drain settles every tracked future, oldest first.
+func (w *Window[T]) Drain() {
+	for _, e := range w.pending {
+		w.settle(e.fut, e.ctx)
+	}
+	w.pending = nil
+}
+
+// Len returns how many futures are currently tracked.
+func (w *Window[T]) Len() int { return len(w.pending) }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,15 @@ import (
 	"pacman/internal/simdisk"
 	"pacman/internal/txn"
 )
+
+// ErrCrashed resolves durable-commit futures whose transaction executed but
+// whose epoch was never covered by the persistent epoch when the instance
+// crashed: recovery will not replay it, so it must not report durable.
+var ErrCrashed = errors.New("wal: crashed before durable")
+
+// ErrClosed resolves futures still unreleased when the logging pipeline is
+// closed (e.g. a worker was never retired, so its epoch never became safe).
+var ErrClosed = errors.New("wal: closed before durable")
 
 // Config tunes the logging subsystem.
 type Config struct {
@@ -98,12 +108,20 @@ func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet 
 	return s
 }
 
-// AttachWorker assigns a worker to a logger (round-robin). Workers must be
-// attached before Start.
+// Active reports whether the log set actually logs (Kind != Off and at
+// least one device).
+func (s *LogSet) Active() bool { return len(s.loggers) > 0 }
+
+// AttachWorker assigns a worker to a logger (round-robin) and defers the
+// worker's durability to the release path, so futures of its commits
+// resolve at group commit instead of at execution. Workers may be attached
+// before or after Start, but always before they execute their first
+// transaction. With logging off this is a no-op: durability is immediate.
 func (s *LogSet) AttachWorker(w *txn.Worker) {
 	if len(s.loggers) == 0 {
 		return
 	}
+	w.SetDurabilityDeferred(true)
 	lg := s.loggers[w.ID()%len(s.loggers)]
 	lg.wmu.Lock()
 	lg.workers = append(lg.workers, w)
@@ -159,6 +177,10 @@ func (s *LogSet) Close() {
 		lg.closeBatch()
 	}
 	s.updatePepoch()
+	// Anything still unreleased (commits of never-retired workers whose
+	// epoch never became safe) will not be flushed by anyone: fail their
+	// futures so no caller waits forever.
+	s.failOutstanding(ErrClosed)
 }
 
 // Abort stops the logger and pepoch goroutines without any final flush —
@@ -169,6 +191,33 @@ func (s *LogSet) Abort() {
 		close(s.stopCh)
 	}
 	s.wg.Wait()
+	// Every commit the pipeline still owned dies with it: resolve its
+	// future with ErrCrashed so clients observe the lost tail instead of
+	// waiting forever, and fail each worker's durability so transactions
+	// executed after the crash resolve immediately too.
+	s.failOutstanding(ErrCrashed)
+}
+
+// failOutstanding resolves every future still owned by the logging
+// pipeline — buffered on an attached worker, or flushed but not yet covered
+// by the persistent epoch — with err. It runs after the logger goroutines
+// have stopped, so no concurrent release can race it; a future that was
+// already released is left untouched (resolve-once).
+func (s *LogSet) failOutstanding(err error) {
+	now := time.Now()
+	for _, lg := range s.loggers {
+		lg.wmu.Lock()
+		workers := append([]*txn.Worker(nil), lg.workers...)
+		lg.wmu.Unlock()
+		for _, w := range workers {
+			w.FailDurability(err)
+		}
+		for _, c := range lg.takeReleased(^uint32(0)) {
+			if c.Future != nil {
+				c.Future.Resolve(now, err)
+			}
+		}
+	}
 }
 
 // PersistedEpoch returns the current persistent epoch (pepoch): every
@@ -213,10 +262,22 @@ func (s *LogSet) updatePepoch() {
 		w.Sync()
 		s.pepoch.Store(pe)
 	}
-	// Release covered transactions.
+	// Release covered transactions: resolve each durable-commit future,
+	// then surface the same epoch batch to the OnRelease observer (the
+	// legacy callback rides the future-release path — both see exactly the
+	// transactions whose epochs the new pepoch covers).
+	now := time.Now()
 	for _, lg := range s.loggers {
 		released := lg.takeReleased(pe)
-		if len(released) > 0 && s.cfg.OnRelease != nil {
+		if len(released) == 0 {
+			continue
+		}
+		for _, c := range released {
+			if c.Future != nil {
+				c.Future.Resolve(now, nil)
+			}
+		}
+		if s.cfg.OnRelease != nil {
 			s.cfg.OnRelease(released)
 		}
 	}

@@ -17,12 +17,18 @@
 //	db.MustRegister(procedure)
 //	db.Populate(seedFn)
 //	db.Start()
-//	s := db.Session()
-//	s.Exec("Transfer", args)
+//	fe, _ := db.NewFrontend(pacman.FrontendConfig{Workers: 8})
+//	fut := fe.Submit("Transfer", args) // returns at execution
+//	ts, err := fut.Wait()              // resolves at group-commit release
+//	fe.Close()                         // drain, retire the session pool
 //	...
 //	db.Crash()            // simulate failure
 //	db2 := pacman.Open(...)  // same schema/procedures/population
 //	db2.Recover(db.Devices(), pacman.CLRP, threads)
+//
+// The Frontend multiplexes any number of client goroutines over a bounded
+// session pool and owns heartbeating; raw Sessions remain available for
+// callers that need to pin one worker per goroutine (see Session).
 package pacman
 
 import (
@@ -118,8 +124,9 @@ type Options struct {
 	BatchEpochs uint32
 	// DisableSync skips fsync on log flushes (Table 3's "w/o fsync").
 	DisableSync bool
-	// MultiVersion retains version chains (required for online
-	// checkpointing; default true).
+	// SingleVersion disables the version chains kept on update (multi-
+	// version retention is the default and is required for online
+	// checkpointing to run concurrently with transactions).
 	SingleVersion bool
 	// CheckpointEvery enables periodic checkpointing at this interval.
 	CheckpointEvery time.Duration
@@ -127,7 +134,10 @@ type Options struct {
 	// per device).
 	CheckpointThreads int
 	// OnRelease observes transactions whose results become durable (group
-	// commit released); used for end-to-end latency measurement.
+	// commit released). It rides the same release path that resolves
+	// durable-commit Futures; prefer per-request Futures (Session.Submit,
+	// Frontend.Submit) for new code — they carry per-transaction
+	// (TS, ExecAt, DurableAt) instead of one global hook.
 	OnRelease func(ts []TS, start []time.Time)
 }
 
@@ -355,27 +365,67 @@ func (d *DB) Crash() {
 	}
 }
 
-// ErrNotStarted is returned by Session before Start.
+// ErrNotStarted is returned by NewSession and NewFrontend (and panicked by
+// Session) when the database has not been started.
 var ErrNotStarted = errors.New("pacman: database not started")
 
-// Session is a worker-thread handle for executing transactions. Create one
-// per goroutine.
+// Future is the durable-commit handle returned by the asynchronous
+// submission APIs (Session.Submit, Frontend.Submit). It resolves when the
+// transaction's epoch is group-commit released, carrying the commit
+// timestamp and the ExecAt/DurableAt instants for per-request latency
+// measurement; it resolves with an error when execution fails or the
+// instance crashes or closes before durability.
+type Future = txn.Future
+
+// Three distinct sentinel errors can resolve a Future, and they mean
+// different things — check all three when classifying outcomes:
+//
+//   - ErrCrashed: the transaction EXECUTED (its in-memory effects were
+//     visible) but was not durable at the crash; recovery will not replay it.
+//   - ErrClosed: the transaction EXECUTED but its epoch was never released
+//     before Close (e.g. an unretired raw Session held back the safe epoch).
+//   - ErrFrontendClosed (frontend.go): the submission was REJECTED by a
+//     closed Frontend and never executed at all.
+var (
+	ErrCrashed = wal.ErrCrashed
+	ErrClosed  = wal.ErrClosed
+)
+
+// Session is a worker-thread handle for executing transactions, pinned to
+// one goroutine. It is the low-level API: the caller owns the SiloR
+// liveness contract — an idle Session must Heartbeat (or Retire), or group
+// commit stalls on it. Most applications should use a Frontend instead,
+// which multiplexes client goroutines over a session pool and heartbeats
+// internally.
 type Session struct {
 	d *DB
 	w *txn.Worker
 }
 
-// Session creates a new execution session.
-func (d *DB) Session() *Session {
+// NewSession creates a new execution session, or returns ErrNotStarted
+// before Start.
+func (d *DB) NewSession() (*Session, error) {
 	if !d.started {
-		panic(ErrNotStarted)
+		return nil, ErrNotStarted
 	}
 	w := d.mgr.NewWorker()
 	d.logset.AttachWorker(w)
-	return &Session{d: d, w: w}
+	return &Session{d: d, w: w}, nil
+}
+
+// Session is NewSession for brevity in examples and tests: it panics with
+// ErrNotStarted before Start.
+func (d *DB) Session() *Session {
+	s, err := d.NewSession()
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Exec runs a stored procedure by name and returns its commit timestamp.
+// The result is NOT durable yet when Exec returns — durability arrives with
+// the epoch's group-commit release; use Submit to observe it per request.
 func (s *Session) Exec(name string, args Args) (TS, error) {
 	c := s.d.reg.ByName(name)
 	if c == nil {
@@ -395,9 +445,39 @@ func (s *Session) ExecAdHoc(name string, args Args) (TS, error) {
 	return s.w.Execute(c, args, true, time.Now())
 }
 
+// Submit executes a stored procedure on the calling goroutine and returns
+// its durable-commit Future: Submit returns as soon as execution commits,
+// and the Future resolves when the commit's epoch is group-commit released.
+//
+// The session's liveness contract still applies while waiting: a goroutine
+// that blocks on the Future with its session idle must Heartbeat (or
+// Retire) first, or group commit stalls on the session and the Future
+// never resolves. Frontend.Submit has no such requirement — the pool
+// heartbeats internally.
+func (s *Session) Submit(name string, args Args) *Future {
+	return s.submit(name, args, false)
+}
+
+// SubmitAdHoc is Submit for ad-hoc transactions.
+func (s *Session) SubmitAdHoc(name string, args Args) *Future {
+	return s.submit(name, args, true)
+}
+
+func (s *Session) submit(name string, args Args, adHoc bool) *Future {
+	fut := txn.NewFuture(time.Now())
+	c := s.d.reg.ByName(name)
+	if c == nil {
+		fut.Resolve(time.Now(), fmt.Errorf("pacman: unknown procedure %q", name))
+		return fut
+	}
+	s.w.ExecuteFuture(fut, c, args, adHoc)
+	return fut
+}
+
 // Heartbeat publishes liveness while the session is idle; call it when the
 // session has no transaction in flight (e.g., an empty request queue), or
-// group commit stalls waiting for this session.
+// group commit stalls waiting for this session. Frontend owns this
+// internally — only raw Session users need it.
 func (s *Session) Heartbeat() { s.w.Heartbeat() }
 
 // Retire marks the session finished.

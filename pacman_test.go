@@ -1,6 +1,7 @@
 package pacman
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -200,6 +201,169 @@ func TestSessionBeforeStartPanics(t *testing.T) {
 		}
 	}()
 	d.Session()
+}
+
+func TestNewSessionBeforeStartReturnsError(t *testing.T) {
+	d, _ := openBank(Options{})
+	if _, err := d.NewSession(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("NewSession err = %v, want ErrNotStarted", err)
+	}
+	if _, err := d.NewFrontend(FrontendConfig{}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("NewFrontend err = %v, want ErrNotStarted", err)
+	}
+	d.Start()
+	defer d.Close()
+	s, err := d.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Retire()
+}
+
+func TestSessionSubmitFuture(t *testing.T) {
+	d, _ := openBank(Options{Logging: CommandLogging, EpochInterval: time.Millisecond})
+	d.Start()
+	s := d.Session()
+	if bad := s.Submit("Nope", nil); bad.Err() == nil {
+		t.Error("unknown procedure future resolved without error")
+	}
+	fut := s.Submit("Deposit", Args{proc.A(tuple.I(1)), proc.A(tuple.I(3)), proc.A(tuple.I(1))})
+	// Submit returns after execution: the balance is already updated even
+	// though durability may still be pending.
+	r, _ := d.Table("Current").GetRow(1)
+	if r.LatestData()[1].Int() != 1003 {
+		t.Fatalf("balance after Submit = %d, want 1003", r.LatestData()[1].Int())
+	}
+	// A raw session must keep the liveness contract before blocking on its
+	// own future: an idle worker that neither heartbeats nor retires holds
+	// the safe epoch back and group commit would wait on it forever (the
+	// Frontend does this internally).
+	s.Retire()
+	ts, err := fut.Wait()
+	if err != nil || ts == 0 {
+		t.Fatalf("Wait = (%v, %v)", ts, err)
+	}
+	if d.PersistedEpoch() < uint32(ts>>32) {
+		t.Fatalf("future durable at epoch %d but pepoch = %d", ts>>32, d.PersistedEpoch())
+	}
+	d.Close()
+}
+
+// TestFrontendMultiplexAPI is the acceptance scenario at the public API: 64
+// client goroutines over an 8-session Frontend, every Future resolving with
+// a durable timestamp.
+func TestFrontendMultiplexAPI(t *testing.T) {
+	d, _ := openBank(Options{Logging: CommandLogging, EpochInterval: time.Millisecond})
+	d.Start()
+	fe, err := d.NewFrontend(FrontendConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.Sessions() != 8 {
+		t.Fatalf("sessions = %d, want 8", fe.Sessions())
+	}
+	const clients, perClient = 64, 20
+	futs := make([][]*Future, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				futs[c] = append(futs[c], fe.Submit("Deposit", Args{
+					proc.A(tuple.I(int64(1 + (c+i)%40))), proc.A(tuple.I(1)), proc.A(tuple.I(int64(1 + c%10))),
+				}))
+			}
+		}(c)
+	}
+	wg.Wait()
+	fe.Close()
+	d.Close()
+	for c := range futs {
+		for i, f := range futs[c] {
+			ts, err := f.Wait()
+			if err != nil {
+				t.Fatalf("client %d future %d: %v", c, i, err)
+			}
+			if ts == 0 || d.PersistedEpoch() < uint32(ts>>32) {
+				t.Fatalf("client %d future %d: epoch %d not durable (pepoch %d)",
+					c, i, ts>>32, d.PersistedEpoch())
+			}
+		}
+	}
+	// The recovered state must include every one of the 64×20 deposits.
+	d.Crash()
+	d2, _ := openBank(Options{ExistingDevices: d.Devices()})
+	res, err := d2.Recover(d.Devices(), CLRP, RecoverConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != clients*perClient {
+		t.Fatalf("recovered %d entries, want %d", res.Entries, clients*perClient)
+	}
+}
+
+// TestFrontendCrashResolvesFutures: Crash with submissions in flight —
+// every future resolves durable or with ErrCrashed; nothing hangs.
+func TestFrontendCrashResolvesFutures(t *testing.T) {
+	d, _ := openBank(Options{Logging: CommandLogging, EpochInterval: time.Millisecond})
+	d.Start()
+	fe, err := d.NewFrontend(FrontendConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var futs []*Future
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := fe.Submit("Deposit", Args{
+					proc.A(tuple.I(int64(1 + (c+i)%40))), proc.A(tuple.I(1)), proc.A(tuple.I(1)),
+				})
+				mu.Lock()
+				futs = append(futs, f)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	time.Sleep(3 * time.Millisecond)
+	d.Crash()
+	close(stop)
+	wg.Wait()
+	fe.Close()
+	mu.Lock()
+	all := futs
+	mu.Unlock()
+	deadline := time.After(5 * time.Second)
+	durable, crashed := 0, 0
+	for i, f := range all {
+		select {
+		case <-f.Done():
+		case <-deadline:
+			t.Fatalf("future %d/%d unresolved after crash", i, len(all))
+		}
+		switch _, err := f.Wait(); {
+		case err == nil:
+			durable++
+		case errors.Is(err, ErrCrashed):
+			crashed++
+		case errors.Is(err, ErrFrontendClosed):
+		default:
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+	if durable+crashed == 0 {
+		t.Fatal("no futures observed")
+	}
 }
 
 func TestRecoverIntoStartedInstanceFails(t *testing.T) {
