@@ -29,10 +29,13 @@ race:
 
 # A tiny end-to-end run of the bench binary: logs a short smallbank run on
 # two simulated devices and recovers it with every scheme through both the
-# serial and pipelined reload paths, then reports durable-commit latency
-# percentiles from the frontend's futures.
+# serial and pipelined reload paths, reports durable-commit latency
+# percentiles from the frontend's futures, and drives the blueprint
+# lifecycle through a crash -> Restart -> serve -> crash -> Restart round
+# trip (CLR-P and PLR). Machine-readable BENCH_<experiment>.json results
+# land in bench-results/.
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload,latency -duration 300ms -workers 2
+	$(GO) run ./cmd/pacman-bench -exp reload,latency,restart -duration 300ms -workers 2 -json bench-results
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

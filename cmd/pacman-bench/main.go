@@ -7,11 +7,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -37,15 +40,44 @@ var experiments = map[string]func(io.Writer, harness.Scale) error{
 	"table3":  harness.Table3,
 	"reload":  harness.FigReload,
 	"latency": harness.FigLatency,
+	"restart": restartSmoke,
+}
+
+// benchResult is the machine-readable record one experiment run emits when
+// -json is set, written to BENCH_<experiment>.json.
+type benchResult struct {
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Workers    int     `json:"workers"`
+	DurationMS float64 `json:"duration_ms"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	OK         bool    `json:"ok"`
+	Error      string  `json:"error,omitempty"`
+	// Output is the experiment's full text report (the rows/series the
+	// paper plots), preserved so downstream tooling can diff runs.
+	Output string `json:"output"`
+}
+
+// writeJSON persists one experiment's result as BENCH_<id>.json under dir.
+func writeJSON(dir, id string, res benchResult) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+id+".json"), append(b, '\n'), 0o644)
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, restart, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")
 	workers := flag.Int("workers", 0, "override OLTP worker count")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
+	jsonDir := flag.String("json", "", "also write machine-readable BENCH_<experiment>.json results into this directory")
 	flag.Parse()
 
 	ids := make([]string, 0, len(experiments))
@@ -74,11 +106,39 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown experiment %q; use -list", id)
 		}
+		var out io.Writer = os.Stdout
+		var buf bytes.Buffer
+		if *jsonDir != "" {
+			out = io.MultiWriter(os.Stdout, &buf)
+		}
 		start := time.Now()
-		if err := fn(os.Stdout, scale); err != nil {
+		err := fn(out, scale)
+		elapsed := time.Since(start)
+		if *jsonDir != "" {
+			mode := "bench"
+			if *full {
+				mode = "full"
+			}
+			res := benchResult{
+				Experiment: id,
+				Scale:      mode,
+				Workers:    scale.Workers,
+				DurationMS: float64(scale.Duration.Microseconds()) / 1e3,
+				ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
+				OK:         err == nil,
+				Output:     buf.String(),
+			}
+			if err != nil {
+				res.Error = err.Error()
+			}
+			if werr := writeJSON(*jsonDir, id, res); werr != nil {
+				log.Fatalf("%s: writing json: %v", id, werr)
+			}
+		}
+		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 	}
 
 	switch *exp {

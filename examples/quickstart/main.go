@@ -1,6 +1,8 @@
-// Quickstart: the paper's bank example end to end — define the schema and
-// stored procedures, run transactions under command logging, crash, and
-// recover with PACMAN (CLR-P), verifying the recovered state.
+// Quickstart: the paper's bank example as a service lifecycle — declare the
+// catalog once as a Blueprint, Launch it under command logging, serve
+// transactions, crash, and Restart on the same devices with PACMAN (CLR-P):
+// the restarted instance is immediately servable, new commits append to the
+// same logs, and a second crash+Restart recovers both generations.
 package main
 
 import (
@@ -18,56 +20,53 @@ import (
 
 const accounts = 1000
 
-// defineBank declares the Figure 2/4 catalog and procedures on an instance.
-func defineBank(db *pacman.DB) {
-	db.MustDefineTable(tuple.MustSchema("Family",
-		tuple.Col("id", tuple.KindInt), tuple.Col("Spouse", tuple.KindInt)))
-	db.MustDefineTable(tuple.MustSchema("Current",
-		tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)))
-	db.MustDefineTable(tuple.MustSchema("Saving",
-		tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)))
-	db.MustDefineTable(tuple.MustSchema("Stats",
-		tuple.Col("id", tuple.KindInt), tuple.Col("Count", tuple.KindInt)))
-	db.MustRegister(workload.BankTransferProc())
-	db.MustRegister(workload.BankDepositProc())
-	db.Populate(func(seed func(t *pacman.Table, key uint64, vals pacman.Tuple)) {
-		for i := 1; i <= accounts; i++ {
-			spouse := int64(i - 1)
-			if i%2 == 1 {
-				spouse = int64(i + 1)
+// bankBlueprint declares the Figure 2/4 catalog, procedures, and the
+// deterministic initial population. The same value drives Launch and every
+// Restart — there is no second copy of the schema to keep in sync, and
+// Restart validates the blueprint against the manifest persisted on the
+// devices before replaying anything.
+func bankBlueprint() pacman.Blueprint {
+	return pacman.Blueprint{
+		Tables: []*pacman.Schema{
+			tuple.MustSchema("Family",
+				tuple.Col("id", tuple.KindInt), tuple.Col("Spouse", tuple.KindInt)),
+			tuple.MustSchema("Current",
+				tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)),
+			tuple.MustSchema("Saving",
+				tuple.Col("id", tuple.KindInt), tuple.Col("Value", tuple.KindInt)),
+			tuple.MustSchema("Stats",
+				tuple.Col("id", tuple.KindInt), tuple.Col("Count", tuple.KindInt)),
+		},
+		Procedures: []*pacman.Procedure{
+			workload.BankTransferProc(),
+			workload.BankDepositProc(),
+		},
+		Seed: func(seed pacman.Seeder) {
+			for i := 1; i <= accounts; i++ {
+				spouse := int64(i - 1)
+				if i%2 == 1 {
+					spouse = int64(i + 1)
+				}
+				seed("Family", uint64(i), pacman.Tuple{tuple.I(int64(i)), tuple.I(spouse)})
+				seed("Current", uint64(i), pacman.Tuple{tuple.I(int64(i)), tuple.I(1000)})
+				seed("Saving", uint64(i), pacman.Tuple{tuple.I(int64(i)), tuple.I(100)})
 			}
-			seed(db.Table("Family"), uint64(i), pacman.Tuple{tuple.I(int64(i)), tuple.I(spouse)})
-			seed(db.Table("Current"), uint64(i), pacman.Tuple{tuple.I(int64(i)), tuple.I(1000)})
-			seed(db.Table("Saving"), uint64(i), pacman.Tuple{tuple.I(int64(i)), tuple.I(100)})
-		}
-		for n := 1; n <= 50; n++ {
-			seed(db.Table("Stats"), uint64(n), pacman.Tuple{tuple.I(int64(n)), tuple.I(0)})
-		}
-	})
+			for n := 1; n <= 50; n++ {
+				seed("Stats", uint64(n), pacman.Tuple{tuple.I(int64(n)), tuple.I(0)})
+			}
+		},
+	}
 }
 
-func main() {
-	// 1. Open a database with command logging on two simulated SSDs.
-	db := pacman.Open(pacman.Options{
-		Logging:       pacman.CommandLogging,
-		Devices:       2,
-		EpochInterval: 2 * time.Millisecond,
-	})
-	defineBank(db)
-	db.Start()
-
-	// 2. Run a few thousand transfers and deposits through the frontend:
-	// submissions return at execution, futures resolve at group-commit
-	// release, and the bounded session pool heartbeats internally.
-	fmt.Println("running 5000 transactions under command logging...")
-	fe, err := db.NewFrontend(pacman.FrontendConfig{Workers: 4})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+// serve pushes n random transfers/deposits through a fresh Frontend and
+// waits for every durable-commit future, reporting throughput and latency.
+func serve(db *pacman.DB, n int, seed int64) {
+	fe := db.MustFrontend(pacman.FrontendConfig{Workers: 4})
+	defer fe.Close()
+	rng := rand.New(rand.NewSource(seed))
 	start := time.Now()
-	futs := make([]*pacman.Future, 0, 5000)
-	for i := 0; i < 5000; i++ {
+	futs := make([]*pacman.Future, 0, n)
+	for i := 0; i < n; i++ {
 		acct := proc.A(tuple.I(int64(1 + rng.Intn(accounts))))
 		if rng.Intn(2) == 0 {
 			futs = append(futs, fe.Submit("Transfer",
@@ -80,51 +79,81 @@ func main() {
 			}))
 		}
 	}
-	execHist, durHist := &metrics.Histogram{}, &metrics.Histogram{}
+	durHist := &metrics.Histogram{}
 	for i, f := range futs {
 		if _, err := f.Wait(); err != nil {
 			log.Fatalf("txn %d: %v", i, err)
 		}
-		execHist.Record(f.ExecLatency())
 		durHist.Record(f.DurableLatency())
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("  %d durable txns in %v (%.0f tps)\n", len(futs),
-		elapsed.Round(time.Millisecond), float64(len(futs))/elapsed.Seconds())
-	fmt.Printf("  latency: exec p50 %v / durable p50 %v / durable p99 %v\n",
-		execHist.Percentile(50).Round(time.Microsecond),
+	fmt.Printf("  %d durable txns in %v (%.0f tps, durable p50 %v p99 %v)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
 		durHist.Percentile(50).Round(time.Microsecond),
 		durHist.Percentile(99).Round(time.Microsecond))
-	fe.Close()
+}
 
-	// 3. Flush everything, remember account 1's balance, then crash.
-	db.Close()
-	r, _ := db.Table("Current").GetRow(1)
-	balanceBefore := r.LatestData()[1].Int()
-	fmt.Printf("account 1 balance before crash: %d\n", balanceBefore)
+func balance(db *pacman.DB, acct uint64) int64 {
+	r, ok := db.Table("Current").GetRow(acct)
+	if !ok {
+		log.Fatalf("account %d missing", acct)
+	}
+	return r.LatestData()[1].Int()
+}
+
+func main() {
+	bp := bankBlueprint()
+
+	// 1. Launch: tables, procedures, seed, manifest, and loggers in one call.
+	db, err := pacman.Launch(bp, pacman.Options{
+		Logging:       pacman.CommandLogging,
+		Devices:       2,
+		EpochInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serving 5000 transactions under command logging...")
+	serve(db, 5000, 1)
+	before := balance(db, 1)
+	fmt.Printf("account 1 balance: %d\n", before)
+
+	// 2. Crash. Devices keep only their durable prefixes.
 	db.Crash()
 	fmt.Println("crashed: devices truncated to their durable prefixes")
 
-	// 4. Recover into a fresh instance with PACMAN (CLR-P).
-	db2 := pacman.Open(pacman.Options{})
-	defineBank(db2)
-	res, err := db2.Recover(db.Devices(), pacman.CLRP, pacman.RecoverConfig{Threads: 4})
+	// 3. Restart on the same devices. The scheme is auto-selected from the
+	// manifest (command logging -> CLR-P, i.e. PACMAN), the blueprint is
+	// validated against the persisted catalog, and the returned instance is
+	// already started.
+	t0 := time.Now()
+	db2, res, err := pacman.Restart(db.Devices(), bp, pacman.RecoverConfig{Threads: 4})
 	if err != nil {
-		log.Fatalf("recovery: %v", err)
+		log.Fatalf("restart: %v", err)
 	}
-	fmt.Printf("recovered %d transactions in %v (reload work %v, reload wall %v, replay stalled %v)\n",
-		res.Entries, res.LogTotal.Round(time.Microsecond), res.LogReload.Round(time.Microsecond),
+	fmt.Printf("restarted in %v: replayed %d transactions (reload wall %v, replay stalled %v)\n",
+		time.Since(t0).Round(time.Microsecond), res.Entries,
 		res.ReloadWall.Round(time.Microsecond), res.ReloadStall.Round(time.Microsecond))
+	if got := balance(db2, 1); got != before {
+		log.Fatalf("MISMATCH after restart: %d != %d", got, before)
+	}
 
-	// 5. Verify.
-	r2, ok := db2.Table("Current").GetRow(1)
-	if !ok {
-		log.Fatal("account 1 missing after recovery")
+	// 4. The restarted instance serves immediately — and its new commits
+	// are durable on the same devices.
+	fmt.Println("serving 2000 more transactions on the restarted instance...")
+	serve(db2, 2000, 2)
+	after := balance(db2, 1)
+
+	// 5. Crash again, restart again: both generations recover.
+	db2.Crash()
+	db3, res2, err := pacman.Restart(db2.Devices(), bp, pacman.RecoverConfig{Threads: 4})
+	if err != nil {
+		log.Fatalf("second restart: %v", err)
 	}
-	balanceAfter := r2.LatestData()[1].Int()
-	fmt.Printf("account 1 balance after recovery: %d\n", balanceAfter)
-	if balanceAfter != balanceBefore {
-		log.Fatalf("MISMATCH: %d != %d", balanceAfter, balanceBefore)
+	fmt.Printf("second restart replayed %d transactions (pre- and post-restart)\n", res2.Entries)
+	if got := balance(db3, 1); got != after {
+		log.Fatalf("MISMATCH after second restart: %d != %d", got, after)
 	}
-	fmt.Println("OK: recovered state matches the pre-crash state")
+	db3.Close()
+	fmt.Println("OK: both crash/restart round trips recovered the full history")
 }

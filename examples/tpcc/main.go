@@ -1,6 +1,8 @@
-// TPC-C example: run the benchmark mix under a chosen logging scheme with
-// several workers, crash, and compare serial command-log recovery (CLR)
-// against PACMAN (CLR-P).
+// TPC-C example: run the benchmark mix under a chosen logging scheme
+// through the blueprint lifecycle, crash, and compare serial command-log
+// recovery (CLR) against PACMAN (CLR-P) — both through Restart, which
+// validates the blueprint against the devices' catalog manifest and
+// returns a servable instance.
 //
 //	go run ./examples/tpcc -warehouses 2 -txns 20000 -workers 4 -threads 4
 package main
@@ -40,39 +42,82 @@ func main() {
 
 	cfg := workload.DefaultTPCCConfig()
 	cfg.Warehouses = *warehouses
-	mk := func() (*workload.TPCC, *pacman.DB) {
-		w := workload.NewTPCC(cfg)
-		db := pacman.Adopt(w.DB(), w.Registry(), pacman.Options{
-			Logging:       kind,
-			Devices:       2,
-			EpochInterval: 5 * time.Millisecond,
-		})
-		w.Populate(workload.DirectPopulate{})
-		return w, db
-	}
+	w := workload.NewTPCC(cfg)
+	spec := workload.Spec(w)
+	bp := pacman.Blueprint{Tables: spec.Tables, Procedures: spec.Procs, Seed: spec.Seed}
 
-	w, db := mk()
-	db.Start()
-	fmt.Printf("TPC-C: %d warehouses, %d txns, %d workers, %s logging\n",
-		cfg.Warehouses, *txns, *workers, kind)
-
-	// 2× as many client goroutines as pool workers, multiplexed through one
-	// frontend: clients submit asynchronously and settle futures through a
-	// bounded in-flight window.
-	fe, err := db.NewFrontend(pacman.FrontendConfig{Workers: *workers})
+	db, err := pacman.Launch(bp, pacman.Options{
+		Logging:       kind,
+		Devices:       2,
+		EpochInterval: 5 * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	clients := 2 * *workers
-	if clients > *txns {
+	fmt.Printf("TPC-C: %d warehouses, %d txns, %d workers, %s logging\n",
+		cfg.Warehouses, *txns, *workers, kind)
+	serve(db, w, *txns, *workers)
+
+	// Remember one row for verification.
+	dk := db.Table("DISTRICT")
+	var wantNextOID int64
+	dk.ScanSlots(0, 1, func(r *engine.Row) { wantNextOID = r.LatestData()[8].Int() })
+	db.Crash()
+	fmt.Println("crashed")
+
+	if kind != pacman.CommandLogging {
+		fmt.Println("(recovery comparison below requires command logging; exiting)")
+		return
+	}
+
+	// Restart twice on the same devices, pinning each command-log scheme in
+	// turn: the serial baseline (CLR), then PACMAN (CLR-P). Each restart
+	// validates the same blueprint against the persisted manifest.
+	for _, scheme := range []pacman.Scheme{pacman.CLR, pacman.CLRP} {
+		db2, res, err := pacman.Restart(db.Devices(), bp, pacman.RecoverConfig{
+			Scheme:  scheme,
+			Threads: *threads,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", scheme, err)
+		}
+		fmt.Printf("  %-5v replayed %6d txns in %8v (reload wall %v)\n",
+			scheme, res.Entries, res.LogTotal.Round(time.Microsecond),
+			res.ReloadWall.Round(time.Microsecond))
+		var got int64
+		db2.Table("DISTRICT").ScanSlots(0, 1, func(r *engine.Row) {
+			got = r.LatestData()[8].Int()
+		})
+		if got != wantNextOID {
+			log.Fatalf("%v: district counter %d, want %d", scheme, got, wantNextOID)
+		}
+		if scheme == pacman.CLRP {
+			// The last restarted instance is servable: run a post-restart
+			// slice of the mix on the recovered state before closing.
+			fmt.Println("serving on the restarted instance...")
+			serve(db2, w, *txns/4, *workers)
+		}
+		db2.Close()
+	}
+	fmt.Println("OK: both schemes recovered identical, servable states")
+}
+
+// serve drives the TPC-C mix: 2x as many client goroutines as pool workers,
+// multiplexed through one frontend, settling durable-commit futures through
+// bounded in-flight windows.
+func serve(db *pacman.DB, w *workload.TPCC, txnCount, workers int) {
+	fe := db.MustFrontend(pacman.FrontendConfig{Workers: workers})
+	defer fe.Close()
+	clients := 2 * workers
+	if clients > txnCount {
 		clients = 1
 	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < clients; g++ {
-		// Split *txns across clients without truncation loss.
-		per := *txns / clients
-		if g < *txns%clients {
+		// Split txnCount across clients without truncation loss.
+		per := txnCount / clients
+		if g < txnCount%clients {
 			per++
 		}
 		wg.Add(1)
@@ -97,38 +142,5 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 	fmt.Printf("  throughput: %.0f durable tps (%d clients over %d sessions)\n",
-		float64(*txns)/elapsed.Seconds(), clients, *workers)
-
-	fe.Close()
-	db.Close()
-	// Remember one row for verification.
-	dk := db.Table("DISTRICT")
-	var wantNextOID int64
-	dk.ScanSlots(0, 1, func(r *engine.Row) { wantNextOID = r.LatestData()[8].Int() })
-	db.Crash()
-	fmt.Println("crashed")
-
-	if kind != pacman.CommandLogging {
-		fmt.Println("(recovery comparison below requires command logging; exiting)")
-		return
-	}
-	for _, scheme := range []pacman.Scheme{pacman.CLR, pacman.CLRP} {
-		w2, db2 := mk()
-		_ = w2
-		res, err := db2.Recover(db.Devices(), scheme, pacman.RecoverConfig{Threads: *threads})
-		if err != nil {
-			log.Fatalf("%v: %v", scheme, err)
-		}
-		fmt.Printf("  %-5v replayed %6d txns in %8v (reload wall %v)\n",
-			scheme, res.Entries, res.LogTotal.Round(time.Microsecond),
-			res.ReloadWall.Round(time.Microsecond))
-		var got int64
-		db2.Table("DISTRICT").ScanSlots(0, 1, func(r *engine.Row) {
-			got = r.LatestData()[8].Int()
-		})
-		if got != wantNextOID {
-			log.Fatalf("%v: district counter %d, want %d", scheme, got, wantNextOID)
-		}
-	}
-	fmt.Println("OK: both schemes recovered identical states")
+		float64(txnCount)/elapsed.Seconds(), clients, workers)
 }

@@ -38,7 +38,10 @@ type Frontend struct {
 }
 
 // NewFrontend creates a frontend over a started database, or returns
-// ErrNotStarted.
+// ErrNotStarted. Instances returned by Launch and Restart are already
+// started, so a Frontend works immediately — including right after a crash
+// recovery, where new submissions commit with timestamps above the
+// recovered high-water mark and append to the same log devices.
 func (d *DB) NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if !d.started {
 		return nil, ErrNotStarted
@@ -48,6 +51,16 @@ func (d *DB) NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		Queue:   cfg.Queue,
 	})
 	return &Frontend{d: d, fe: fe}, nil
+}
+
+// MustFrontend is NewFrontend that panics on error — the panicking twin,
+// matching MustSession and the Must* constructor convention.
+func (d *DB) MustFrontend(cfg FrontendConfig) *Frontend {
+	fe, err := d.NewFrontend(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fe
 }
 
 // Submit queues one invocation and returns its durable-commit Future. It

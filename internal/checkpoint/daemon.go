@@ -37,6 +37,20 @@ func NewDaemon(mgr *txn.Manager, devices []*simdisk.Device, cfg Config, interval
 	return &Daemon{mgr: mgr, devices: devices, cfg: cfg, interval: interval, stopCh: make(chan struct{})}
 }
 
+// SeedIDs moves the checkpoint id counter past lastID. A restarted instance
+// seeds it with the id of the checkpoint it recovered from, so new
+// checkpoints take fresh, strictly larger ids — FindLatest picks the newest
+// checkpoint by id, and a restarted daemon that restarted numbering at 1
+// would both clobber recovered shard files and lose to a stale manifest.
+func (d *Daemon) SeedIDs(lastID uint32) {
+	for {
+		cur := d.nextID.Load()
+		if lastID <= cur || d.nextID.CompareAndSwap(cur, lastID) {
+			return
+		}
+	}
+}
+
 // Start launches the periodic checkpointing goroutine.
 func (d *Daemon) Start() {
 	d.wg.Add(1)
@@ -63,12 +77,13 @@ func (d *Daemon) Stop() {
 	d.wg.Wait()
 }
 
-// RunOnce takes one checkpoint at the current safe-epoch snapshot.
+// RunOnce takes one checkpoint at the current snapshot epoch (the safe
+// epoch clamped strictly below the open epoch — see Manager.SnapshotEpoch).
 func (d *Daemon) RunOnce() (*Manifest, error) {
 	d.running.Store(true)
 	defer d.running.Store(false)
 	id := d.nextID.Add(1)
-	se := d.mgr.SafeEpoch()
+	se := d.mgr.SnapshotEpoch()
 	ts := engine.MakeTS(se, ^uint32(0))
 	m, err := Write(d.mgr.DB(), d.devices, d.cfg, id, ts)
 	if err != nil {

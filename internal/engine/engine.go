@@ -33,6 +33,18 @@ func MakeTS(epoch uint32, seq uint32) TS {
 // EpochOf extracts the epoch component of a timestamp.
 func EpochOf(ts TS) uint32 { return uint32(ts >> 32) }
 
+// EpochCeil rounds epoch up to the next multiple of quantum (quantum <= 1
+// leaves it unchanged). A restarted instance aligns its resumed epoch clock
+// to a log-batch boundary with it, so post-restart flushes open fresh batch
+// files strictly after the reloaded tail. TS order is epoch-major, so the
+// skipped epochs cost nothing but a gap in the clock.
+func EpochCeil(epoch, quantum uint32) uint32 {
+	if quantum <= 1 {
+		return epoch
+	}
+	return (epoch + quantum - 1) / quantum * quantum
+}
+
 // Version is one version of a row. Versions are immutable once installed;
 // the chain is newest-first.
 type Version struct {

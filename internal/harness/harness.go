@@ -64,7 +64,10 @@ type RunConfig struct {
 	BatchEpochs     uint32
 	DisableSync     bool
 	CheckpointEvery time.Duration
-	Seed            int64
+	// MaxRetries bounds OCC retries per transaction (default 100000 — the
+	// harness prefers long retry storms over failed runs).
+	MaxRetries int
+	Seed       int64
 	// SampleEvery sets the throughput-trace resolution.
 	SampleEvery time.Duration
 }
@@ -105,6 +108,9 @@ func (c RunConfig) Defaults() RunConfig {
 	}
 	if c.SampleEvery == 0 {
 		c.SampleEvery = 250 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 100000
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -174,7 +180,7 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	mgr := txn.NewManager(w.DB(), txn.Config{
 		MultiVersion:  true,
 		EpochInterval: cfg.EpochInterval,
-		MaxRetries:    100000,
+		MaxRetries:    cfg.MaxRetries,
 	})
 	var devices []*simdisk.Device
 	for i := 0; i < cfg.Devices; i++ {

@@ -40,9 +40,13 @@ import (
 // Scheme identifies a recovery scheme.
 type Scheme int
 
-// The five evaluated schemes.
+// The five evaluated schemes, plus Auto. Auto is the zero value: a restart
+// that does not pin a scheme resolves it from the logging kind recorded in
+// the devices' catalog manifest (see SchemeFor); Run itself rejects Auto —
+// callers must resolve it first.
 const (
-	PLR Scheme = iota
+	Auto Scheme = iota
+	PLR
 	LLR
 	LLRP
 	CLR
@@ -51,6 +55,8 @@ const (
 
 func (s Scheme) String() string {
 	switch s {
+	case Auto:
+		return "AUTO"
 	case PLR:
 		return "PLR"
 	case LLR:
@@ -66,15 +72,34 @@ func (s Scheme) String() string {
 }
 
 // LogKind returns the logging scheme whose output this recovery scheme
-// replays.
+// replays (wal.Off for Auto, which has no kind until resolved).
 func (s Scheme) LogKind() wal.Kind {
 	switch s {
 	case PLR:
 		return wal.Physical
 	case LLR, LLRP:
 		return wal.Logical
-	default:
+	case CLR, CLRP:
 		return wal.Command
+	default:
+		return wal.Off
+	}
+}
+
+// SchemeFor resolves Auto against a logging kind: the default (safest fully
+// servable) scheme per kind — PLR for physical logs, LLR for logical logs
+// (multi-versioned recovered state, unlike LLR-P), and CLR-P (PACMAN) for
+// command logs. It returns Auto for wal.Off, which has nothing to replay.
+func SchemeFor(kind wal.Kind) Scheme {
+	switch kind {
+	case wal.Physical:
+		return PLR
+	case wal.Logical:
+		return LLR
+	case wal.Command:
+		return CLRP
+	default:
+		return Auto
 	}
 }
 
@@ -113,6 +138,16 @@ type Options struct {
 type Result struct {
 	// Pepoch is the recovered persistent epoch.
 	Pepoch uint32
+	// ResumeEpoch is the first epoch a restarted instance may commit into:
+	// one past the recovery high-water mark (the persistent epoch and, when
+	// a checkpoint was restored, its snapshot epoch). Rebasing the epoch
+	// clock here keeps every post-restart commit timestamp strictly above
+	// every recovered one.
+	ResumeEpoch uint32
+	// CheckpointID is the id of the restored checkpoint (0 if none); a
+	// restarted instance seeds its checkpoint daemon past it so new
+	// checkpoints do not collide with — or sort below — recovered ones.
+	CheckpointID uint32
 	// CheckpointReload is the pure checkpoint file reloading time (Fig 13a).
 	CheckpointReload time.Duration
 	// CheckpointTotal is the full checkpoint recovery time including row
@@ -150,6 +185,9 @@ type Result struct {
 // workload's schema; when no checkpoint exists the caller must have
 // installed the deterministic initial population beforehand.
 func Run(opts Options) (*Result, error) {
+	if opts.Scheme == Auto {
+		return nil, errors.New("recovery: scheme Auto must be resolved before Run (see SchemeFor)")
+	}
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
@@ -185,8 +223,17 @@ func Run(opts Options) (*Result, error) {
 			res.CheckpointTotal = time.Since(start)
 			res.CheckpointReload = stats.ReloadTime
 			res.CheckpointRows = stats.Rows
+			res.CheckpointID = man.ID
 			ckptTS = man.TS
 		}
+	}
+
+	// The resume point: past everything durable, whether it arrived through
+	// the log (pepoch) or the checkpoint (whose snapshot epoch may exceed a
+	// lagging pepoch).
+	res.ResumeEpoch = pe + 1
+	if ce := engine.EpochOf(ckptTS); ce >= res.ResumeEpoch {
+		res.ResumeEpoch = ce + 1
 	}
 
 	// Stage 2: log recovery.

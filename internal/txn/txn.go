@@ -127,6 +127,20 @@ func (m *Manager) Epoch() uint32 { return m.epoch.Load() }
 // AdvanceEpoch bumps the epoch clock by one (tests and manual control).
 func (m *Manager) AdvanceEpoch() uint32 { return m.epoch.Add(1) }
 
+// Rebase moves the epoch clock forward to at least epoch; it never moves it
+// backward. A restarted instance rebases past the recovery high-water mark
+// before starting its ticker and workers, so every post-restart commit
+// timestamp is strictly greater than every recovered one (the sequence
+// component may restart from zero — TS order is epoch-major).
+func (m *Manager) Rebase(epoch uint32) {
+	for {
+		cur := m.epoch.Load()
+		if epoch <= cur || m.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
 // StartEpochTicker advances the epoch every Config.EpochInterval until Stop.
 func (m *Manager) StartEpochTicker() {
 	m.tickerWG.Add(1)
@@ -189,6 +203,23 @@ func (m *Manager) SafeEpoch() uint32 {
 		return 0
 	}
 	return uint32(minMark - 1)
+}
+
+// SnapshotEpoch returns the highest epoch that is both safe (no live
+// worker can still commit into it) and closed to workers created later
+// (strictly below the current epoch). Checkpoints must snapshot here, not
+// at SafeEpoch: with every worker retired, SafeEpoch equals the current —
+// still open — epoch, and a worker created after the snapshot could commit
+// into it at a timestamp the checkpoint claims to cover but never read;
+// that commit would then be filtered from log replay and silently lost.
+func (m *Manager) SnapshotEpoch() uint32 {
+	se := m.SafeEpoch()
+	// The clock starts at 1 and never reaches 0, so cur-1 is always a valid
+	// closed epoch (0 holds only the pre-Start population).
+	if cur := m.epoch.Load(); cur > 0 && se >= cur {
+		se = cur - 1
+	}
+	return se
 }
 
 // Worker is one transaction-execution thread's context: its epoch mark and

@@ -21,17 +21,31 @@ var ErrCrashed = errors.New("wal: crashed before durable")
 // closed (e.g. a worker was never retired, so its epoch never became safe).
 var ErrClosed = errors.New("wal: closed before durable")
 
+// DefaultBatchEpochs is the epochs-per-batch-file geometry used when none
+// is configured — the paper "sets the batch size to 100 epochs" (Appendix
+// A.1). The catalog manifest records the effective value through this same
+// constant, so the geometry a restart rounds its resume epoch to can never
+// drift from the geometry the loggers actually wrote with.
+const DefaultBatchEpochs = 100
+
 // Config tunes the logging subsystem.
 type Config struct {
 	Kind Kind
-	// BatchEpochs is the number of epochs per log batch file. The paper
-	// sets "the batch size to 100 epochs" (Appendix A.1).
+	// BatchEpochs is the number of epochs per log batch file (default
+	// DefaultBatchEpochs).
 	BatchEpochs uint32
 	// FlushInterval is the logger poll period.
 	FlushInterval time.Duration
 	// Sync issues an fsync per flush (group commit). Disabling it models
 	// the Table 3 "w/o fsync" configuration.
 	Sync bool
+	// ResumeEpoch is the restart floor: the epoch up to which the devices
+	// are already durable from a previous incarnation (recovery's resume
+	// point minus one). The persistent epoch and per-logger persisted
+	// counters start here instead of 0, so PersistedEpoch never regresses
+	// below what recovery reported and post-restart group commit releases
+	// only on epochs this incarnation actually flushed.
+	ResumeEpoch uint32
 	// OnRelease, if set, is called with transactions whose results become
 	// releasable: their epoch is covered by the persistent epoch. The
 	// harness measures end-to-end latency here.
@@ -92,7 +106,7 @@ type Logger struct {
 // Kind == Off it is inert (no goroutines, PersistedEpoch tracks SafeEpoch).
 func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet {
 	if cfg.BatchEpochs == 0 {
-		cfg.BatchEpochs = 100
+		cfg.BatchEpochs = DefaultBatchEpochs
 	}
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = time.Millisecond
@@ -101,9 +115,12 @@ func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet 
 	if cfg.Kind == Off || len(devices) == 0 {
 		return s
 	}
+	s.pepoch.Store(cfg.ResumeEpoch)
 	s.pepochDev = devices[0]
 	for i, d := range devices {
-		s.loggers = append(s.loggers, &Logger{id: i, set: s, dev: d})
+		lg := &Logger{id: i, set: s, dev: d}
+		lg.persisted.Store(cfg.ResumeEpoch)
+		s.loggers = append(s.loggers, lg)
 	}
 	return s
 }
@@ -349,7 +366,9 @@ func (lg *Logger) flush(safeEpoch uint32) {
 	if lg.set.cfg.Sync && lg.curWriter != nil {
 		lg.curWriter.Sync()
 	}
-	lg.persisted.Store(safeEpoch)
+	if safeEpoch > lg.persisted.Load() {
+		lg.persisted.Store(safeEpoch)
+	}
 
 	lg.pendMu.Lock()
 	lg.pending = append(lg.pending, recs...)

@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pacman/internal/simdisk"
+	"pacman/internal/tuple"
+	"pacman/internal/workload"
+)
+
+func bankManifest(t *testing.T) *CatalogManifest {
+	t.Helper()
+	b := workload.NewBank(10)
+	m := &CatalogManifest{Kind: Command, BatchEpochs: 100, SeedFP: 42}
+	for _, tb := range b.DB().Tables() {
+		s := tb.Schema()
+		td := TableDef{Name: tb.Name()}
+		for i := 0; i < s.NumColumns(); i++ {
+			td.Columns = append(td.Columns, s.Column(i))
+		}
+		m.Tables = append(m.Tables, td)
+	}
+	for _, c := range b.Registry().All() {
+		m.Procs = append(m.Procs, ProcDef{Name: c.Name(), Fingerprint: ProcFingerprint(c)})
+	}
+	return m
+}
+
+func TestCatalogManifestRoundTrip(t *testing.T) {
+	m := bankManifest(t)
+	dev := simdisk.New("d", simdisk.Unlimited())
+	if err := WriteCatalogManifest(dev, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCatalogManifest(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.BatchEpochs != m.BatchEpochs || got.SeedFP != m.SeedFP {
+		t.Fatalf("header mismatch: %+v vs %+v", got, m)
+	}
+	if len(got.Tables) != len(m.Tables) || len(got.Procs) != len(m.Procs) {
+		t.Fatalf("shape mismatch: %d/%d tables, %d/%d procs",
+			len(got.Tables), len(m.Tables), len(got.Procs), len(m.Procs))
+	}
+	for i := range m.Tables {
+		if got.Tables[i].Name != m.Tables[i].Name || len(got.Tables[i].Columns) != len(m.Tables[i].Columns) {
+			t.Errorf("table %d mismatch: %+v vs %+v", i, got.Tables[i], m.Tables[i])
+		}
+	}
+	for i := range m.Procs {
+		if got.Procs[i] != m.Procs[i] {
+			t.Errorf("proc %d mismatch: %+v vs %+v", i, got.Procs[i], m.Procs[i])
+		}
+	}
+	if err := m.Diff(got); err != nil {
+		t.Errorf("identical manifests diff: %v", err)
+	}
+}
+
+func TestCatalogManifestMissing(t *testing.T) {
+	dev := simdisk.New("d", simdisk.Unlimited())
+	if _, err := ReadCatalogManifest(dev); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("err = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestCatalogManifestDiffDiagnostics(t *testing.T) {
+	m := bankManifest(t)
+
+	reordered := *m
+	reordered.Procs = []ProcDef{m.Procs[1], m.Procs[0]}
+	err := m.Diff(&reordered)
+	if !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("reordered procs: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "registration order") || !strings.Contains(err.Error(), "Transfer") {
+		t.Errorf("reordered-procs diagnostic not descriptive: %v", err)
+	}
+
+	dropped := *m
+	dropped.Procs = m.Procs[:1]
+	if err := m.Diff(&dropped); err == nil || !strings.Contains(err.Error(), "procedure count") {
+		t.Errorf("dropped-proc diagnostic: %v", err)
+	}
+
+	reshaped := *m
+	reshaped.Tables = append([]TableDef(nil), m.Tables...)
+	cols := append([]tuple.ColumnDef(nil), m.Tables[1].Columns...)
+	cols[1] = tuple.Col(cols[1].Name, tuple.KindString)
+	reshaped.Tables[1] = TableDef{Name: m.Tables[1].Name, Columns: cols}
+	if err := m.Diff(&reshaped); err == nil || !strings.Contains(err.Error(), "column") {
+		t.Errorf("schema-drift diagnostic: %v", err)
+	}
+
+	drifted := *m
+	drifted.SeedFP = 7
+	if err := m.Diff(&drifted); err == nil || !strings.Contains(err.Error(), "population") {
+		t.Errorf("seed-drift diagnostic: %v", err)
+	}
+}
+
+func TestProcFingerprintDetectsBodyChange(t *testing.T) {
+	a := workload.NewBank(10)
+	b := workload.NewBank(10)
+	if ProcFingerprint(a.Transfer) != ProcFingerprint(b.Transfer) {
+		t.Error("identical procedures fingerprint differently")
+	}
+	if ProcFingerprint(a.Transfer) == ProcFingerprint(a.Deposit) {
+		t.Error("different procedures fingerprint equal")
+	}
+}
+
+func TestSeedHashOrderSensitive(t *testing.T) {
+	row := func(h *SeedHash, k uint64) { h.Row("T", k, tuple.Tuple{tuple.I(int64(k))}) }
+	a, b, c := NewSeedHash(), NewSeedHash(), NewSeedHash()
+	row(a, 1)
+	row(a, 2)
+	row(b, 1)
+	row(b, 2)
+	row(c, 2)
+	row(c, 1)
+	if a.Sum() != b.Sum() {
+		t.Error("same rows, same order: fingerprints differ")
+	}
+	if a.Sum() == c.Sum() {
+		t.Error("reordered rows fingerprint equal")
+	}
+}
+
+// TestRepairTail: a batch file holding records below and above the durable
+// cut plus a torn tail is rewritten to exactly the replayable prefix —
+// ghost records (epoch > pepoch) and torn bytes are gone, valid frames are
+// preserved byte-exact.
+func TestRepairTail(t *testing.T) {
+	b, m := bankSetup(t)
+	w := m.NewWorker()
+
+	// Three commits at epochs 1, 2, and 5 (advance the clock in between).
+	mustExec(t, w, b, 1)
+	m.AdvanceEpoch() // epoch 2
+	mustExec(t, w, b, 2)
+	m.AdvanceEpoch()
+	m.AdvanceEpoch()
+	m.AdvanceEpoch() // epoch 5
+	mustExec(t, w, b, 3)
+	recs := w.Drain(100)
+	if len(recs) != 3 {
+		t.Fatalf("drained %d records", len(recs))
+	}
+
+	dev := simdisk.New("d", simdisk.Unlimited())
+	buf := appendFileHeader(nil, Command, 0, 0)
+	for _, c := range recs {
+		buf = encodeRecord(buf, Command, c)
+	}
+	buf = append(buf, 0xDE, 0xAD, 0xBE) // torn tail
+	wr := dev.Create(BatchFileName(0, 0))
+	wr.Write(buf)
+	wr.Sync()
+
+	st, err := RepairTail([]*simdisk.Device{dev}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesRewritten != 1 || st.GhostRecords != 1 || st.TornBytes != 3 {
+		t.Fatalf("stats = %+v, want 1 file, 1 ghost, 3 torn bytes", st)
+	}
+
+	entries, stats, err := ReloadAll([]*simdisk.Device{dev}, ^uint32(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornFiles != 0 {
+		t.Error("repaired file still torn")
+	}
+	if len(entries) != 2 {
+		t.Fatalf("repaired file holds %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Epoch() > 2 {
+			t.Errorf("ghost entry at epoch %d survived repair", e.Epoch())
+		}
+	}
+
+	// A second pass over an already-clean file is a no-op.
+	st2, err := RepairTail([]*simdisk.Device{dev}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FilesRewritten != 0 {
+		t.Errorf("clean file rewritten: %+v", st2)
+	}
+}

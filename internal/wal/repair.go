@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"pacman/internal/engine"
+	"pacman/internal/simdisk"
+)
+
+// RepairStats reports what a tail-repair pass found.
+type RepairStats struct {
+	// FilesRewritten counts batch files rewritten without their invalid
+	// suffix or ghost records.
+	FilesRewritten int
+	// GhostRecords counts records dropped because their epoch exceeded the
+	// recovered persistent epoch: durably written by one logger while
+	// another lagged, so never covered by pepoch and never replayed.
+	GhostRecords int
+	// TornBytes counts trailing bytes dropped as torn or corrupt frames.
+	TornBytes int64
+}
+
+// RepairTail rewrites every log batch file so it contains exactly the
+// records recovery replayed: frames whose epoch is at or below pepoch, with
+// torn or corrupt trailing bytes removed.
+//
+// A restarted instance must run this before logging again. Records beyond
+// pepoch are ghosts — recovery (correctly) filtered them against the crashed
+// pepoch, but once the restarted instance advances the persistent epoch past
+// their epochs, the next recovery's pepoch filter would wrongly admit them;
+// and new batches must never be appended after a torn tail the decoder would
+// stop at. Kept frames are copied byte-exact (no re-encode), so a repaired
+// file replays identically.
+func RepairTail(devices []*simdisk.Device, pepoch uint32) (RepairStats, error) {
+	var st RepairStats
+	for _, dev := range devices {
+		for _, name := range dev.List("log-") {
+			r, err := dev.Open(name)
+			if err != nil {
+				return st, err
+			}
+			data, err := r.ReadAll()
+			if err != nil {
+				return st, err
+			}
+			kept, ghosts, tornBytes, err := scanValidFrames(data, pepoch)
+			if err != nil {
+				return st, err
+			}
+			if ghosts == 0 && tornBytes == 0 {
+				continue
+			}
+			w := dev.Create(name)
+			if _, err := w.Write(kept); err != nil {
+				return st, err
+			}
+			if err := w.Sync(); err != nil {
+				return st, err
+			}
+			st.FilesRewritten++
+			st.GhostRecords += ghosts
+			st.TornBytes += tornBytes
+		}
+	}
+	return st, nil
+}
+
+// scanValidFrames walks the framed records of one batch file and returns the
+// header plus the raw bytes of every frame with epoch <= pepoch, the number
+// of ghost frames dropped, and how many trailing bytes were torn/corrupt.
+// Frames are validated the same way decodeFile does (length + CRC), but the
+// payload is never decoded — only its leading TS word is read.
+func scanValidFrames(data []byte, pepoch uint32) (kept []byte, ghosts int, tornBytes int64, err error) {
+	_, _, _, rest, err := decodeFileHeader(data)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	kept = append(kept, data[:fileHeaderSize]...)
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			tornBytes = int64(len(rest))
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen <= 0 || len(rest) < 8+plen {
+			tornBytes = int64(len(rest))
+			break
+		}
+		payload := rest[8 : 8+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			tornBytes = int64(len(rest))
+			break
+		}
+		if plen >= 8 && engine.EpochOf(binary.LittleEndian.Uint64(payload)) > pepoch {
+			ghosts++
+		} else {
+			kept = append(kept, rest[:8+plen]...)
+		}
+		rest = rest[8+plen:]
+	}
+	return kept, ghosts, tornBytes, nil
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"pacman/internal/engine"
+	"pacman/internal/proc"
+	"pacman/internal/tuple"
+)
+
+// BlueprintSpec is a workload's catalog in declarative form: schemas in
+// table-ID order, procedure sources in registration order, and a seed that
+// installs the initial population by table name. Its fields plug directly
+// into the public pacman.Blueprint (whose field types are aliases of
+// these), so examples and services launch any benchmark with
+//
+//	spec := workload.Spec(w)
+//	db, err := pacman.Launch(pacman.Blueprint{
+//	        Tables:     spec.Tables,
+//	        Procedures: spec.Procs,
+//	        Seed:       spec.Seed,
+//	}, opts)
+type BlueprintSpec struct {
+	Tables []*tuple.Schema
+	Procs  []*proc.Procedure
+	Seed   func(seed func(table string, key uint64, vals tuple.Tuple))
+}
+
+// Spec extracts the blueprint of any Workload. The schemas and procedure
+// sources come from the workload's own catalog and registry in their
+// original declaration/registration order, and the seed routes the
+// workload's deterministic Populate through table names, so the spec can
+// populate a different instance than the one the workload was built
+// against (as Restart does).
+func Spec(w Workload) BlueprintSpec {
+	var tables []*tuple.Schema
+	for _, t := range w.DB().Tables() {
+		tables = append(tables, t.Schema())
+	}
+	var procs []*proc.Procedure
+	for _, c := range w.Registry().All() {
+		procs = append(procs, c.Source())
+	}
+	return BlueprintSpec{
+		Tables: tables,
+		Procs:  procs,
+		Seed: func(seed func(table string, key uint64, vals tuple.Tuple)) {
+			w.Populate(seedByName(seed))
+		},
+	}
+}
+
+// seedByName adapts a name-routed seed function to PopulateExec: workloads
+// seed through their own table handles, and the adapter forwards each row
+// under the handle's name.
+type seedByName func(table string, key uint64, vals tuple.Tuple)
+
+// Seed implements PopulateExec.
+func (f seedByName) Seed(t *engine.Table, key uint64, vals tuple.Tuple) {
+	f(t.Name(), key, vals)
+}

@@ -10,21 +10,31 @@
 // as a pipeline of piece-sets whose internal parallelism comes from the
 // runtime parameter values.
 //
-// Typical lifecycle:
+// Typical lifecycle — declare once, launch, and restart on the same devices
+// (see Blueprint, Launch, Restart):
 //
-//	db := pacman.Open(pacman.Options{Logging: pacman.CommandLogging, ...})
-//	db.MustDefineTable(schema)
-//	db.MustRegister(procedure)
-//	db.Populate(seedFn)
-//	db.Start()
+//	bp := pacman.Blueprint{Tables: ..., Procedures: ..., Seed: ...}
+//	db, _ := pacman.Launch(bp, pacman.Options{Logging: pacman.CommandLogging})
 //	fe, _ := db.NewFrontend(pacman.FrontendConfig{Workers: 8})
 //	fut := fe.Submit("Transfer", args) // returns at execution
 //	ts, err := fut.Wait()              // resolves at group-commit release
 //	fe.Close()                         // drain, retire the session pool
 //	...
-//	db.Crash()            // simulate failure
-//	db2 := pacman.Open(...)  // same schema/procedures/population
-//	db2.Recover(db.Devices(), pacman.CLRP, threads)
+//	db.Crash()                         // simulate failure
+//	db2, res, _ := pacman.Restart(db.Devices(), bp, pacman.RecoverConfig{Threads: 8})
+//	// db2 is started and servable: Frontends work, new commits append to
+//	// the same log devices, and a second crash+Restart recovers everything.
+//
+// Launch persists a catalog manifest to the devices; Restart validates the
+// blueprint against it (failing loudly on reordered or drifted tables,
+// procedures, or seed), recovers, and returns a started instance whose
+// epoch clock and WAL resume past the recovered tail.
+//
+// The step-by-step Open → DefineTable → Register → Populate → Start dance
+// remains available for callers that build catalogs imperatively (the
+// experiment harness adopts pre-built workload catalogs via Adopt), and
+// DB.Recover remains the offline-recovery escape hatch for devices without
+// a manifest.
 //
 // The Frontend multiplexes any number of client goroutines over a bounded
 // session pool and owns heartbeating; raw Sessions remain available for
@@ -34,6 +44,7 @@ package pacman
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pacman/internal/analysis"
@@ -75,6 +86,8 @@ type (
 	TS = engine.TS
 	// Table is a storage-engine table handle.
 	Table = engine.Table
+	// Row is a table row: a stable identity carrying the version chain.
+	Row = engine.Row
 	// GDG is the global dependency graph from static analysis.
 	GDG = analysis.GDG
 	// ReplayMode selects CLR-P's parallelism level.
@@ -89,13 +102,15 @@ const (
 	CommandLogging  = wal.Command
 )
 
-// Recovery schemes.
+// Recovery schemes. AutoScheme (the zero value) is resolved by Restart from
+// the logging kind recorded in the devices' catalog manifest.
 const (
-	PLR  = recovery.PLR
-	LLR  = recovery.LLR
-	LLRP = recovery.LLRP
-	CLR  = recovery.CLR
-	CLRP = recovery.CLRP
+	AutoScheme = recovery.Auto
+	PLR        = recovery.PLR
+	LLR        = recovery.LLR
+	LLRP       = recovery.LLRP
+	CLR        = recovery.CLR
+	CLRP       = recovery.CLRP
 )
 
 // Replay modes for CLR-P (the Figure 18/19 ablations).
@@ -133,6 +148,9 @@ type Options struct {
 	// CheckpointThreads is the checkpoint writer thread count (default 1
 	// per device).
 	CheckpointThreads int
+	// MaxRetries bounds OCC retries per transaction before the conflict
+	// surfaces to the caller (default 10000).
+	MaxRetries int
 	// OnRelease observes transactions whose results become durable (group
 	// commit released). It rides the same release path that resolves
 	// durable-commit Futures; prefer per-request Futures (Session.Submit,
@@ -153,11 +171,25 @@ type DB struct {
 	devices []*Device
 	started bool
 	gdg     *analysis.GDG
+
+	// seedHash fingerprints the deterministic initial population as rows
+	// pass through Seed; the fingerprint lands in the catalog manifest.
+	seedHash *wal.SeedHash
+	// resumePepoch is the restart floor: the epoch up to which the devices
+	// were already durable when this (restarted) instance took over.
+	resumePepoch uint32
+	// ckptSeed is the id of the checkpoint this instance recovered from;
+	// new checkpoints take strictly larger ids.
+	ckptSeed    uint32
+	manualCkpts atomic.Uint32
 }
 
 // Adopt wraps a pre-built catalog and procedure registry (e.g., one of the
 // internal/workload benchmarks) in a DB instance. The experiment harness
-// and examples use it to avoid re-declaring benchmark schemas.
+// uses it to avoid re-declaring benchmark schemas; note that populations
+// installed directly against the adopted catalog bypass Seed, so the
+// persisted manifest carries no seed fingerprint and the instance cannot be
+// validated by Restart — recover adopted instances with DB.Recover.
 func Adopt(db *engine.Database, reg *proc.Registry, opts Options) *DB {
 	d := Open(opts)
 	d.db = db
@@ -165,13 +197,13 @@ func Adopt(db *engine.Database, reg *proc.Registry, opts Options) *DB {
 	d.mgr = txn.NewManager(db, txn.Config{
 		MultiVersion:  !opts.SingleVersion,
 		EpochInterval: d.opts.EpochInterval,
-		MaxRetries:    10000,
+		MaxRetries:    d.opts.MaxRetries,
 	})
 	return d
 }
 
 // Open creates a database instance. Define tables and procedures, populate,
-// then Start.
+// then Start. (Launch bundles these steps from a Blueprint.)
 func Open(opts Options) *DB {
 	if opts.Devices <= 0 {
 		opts.Devices = 2
@@ -179,10 +211,14 @@ func Open(opts Options) *DB {
 	if opts.EpochInterval <= 0 {
 		opts.EpochInterval = 10 * time.Millisecond
 	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 10000
+	}
 	d := &DB{
-		opts: opts,
-		db:   engine.NewDatabase(),
-		reg:  proc.NewRegistry(),
+		opts:     opts,
+		db:       engine.NewDatabase(),
+		reg:      proc.NewRegistry(),
+		seedHash: wal.NewSeedHash(),
 	}
 	if len(opts.ExistingDevices) > 0 {
 		d.devices = opts.ExistingDevices
@@ -194,7 +230,7 @@ func Open(opts Options) *DB {
 	d.mgr = txn.NewManager(d.db, txn.Config{
 		MultiVersion:  !opts.SingleVersion,
 		EpochInterval: opts.EpochInterval,
-		MaxRetries:    10000,
+		MaxRetries:    opts.MaxRetries,
 	})
 	return d
 }
@@ -229,8 +265,11 @@ func (d *DB) Table(name string) *Table { return d.db.Table(name) }
 
 // Seed installs one initial row (population happens before Start; it is
 // not logged and must be deterministic so recovery can reproduce it when no
-// checkpoint exists).
+// checkpoint exists). Every seeded row folds into the instance's seed
+// fingerprint, which Start persists in the catalog manifest and Restart
+// validates against the blueprint's seed.
 func (d *DB) Seed(t *Table, key uint64, vals Tuple) {
+	d.seedHash.Row(t.Name(), key, vals)
 	r, _ := t.GetOrCreateRow(key)
 	r.Install(engine.MakeTS(0, 1), vals, false, !d.opts.SingleVersion)
 }
@@ -261,20 +300,33 @@ func (d *DB) Analyze() *GDG {
 	return analysis.BuildGDG(ldgs)
 }
 
-// Start launches the epoch clock, loggers, and checkpoint daemon, and runs
-// the static analysis.
-func (d *DB) Start() {
+// Start launches the epoch clock, loggers, and checkpoint daemon, runs the
+// static analysis, and persists the catalog manifest (table schemas,
+// procedure registration order and fingerprints, logging kind, batch
+// geometry, seed fingerprint) to the first device so a later Restart can
+// validate its blueprint against what was actually logged. Calling Start on
+// a started instance is a no-op returning nil.
+func (d *DB) Start() error {
 	if d.started {
-		return
+		return nil
 	}
-	d.started = true
 	d.gdg = d.Analyze()
+	if len(d.devices) > 0 {
+		if err := wal.WriteCatalogManifest(d.devices[0], d.catalogManifest()); err != nil {
+			return fmt.Errorf("pacman: persisting catalog manifest: %w", err)
+		}
+	}
+	// Only now is the instance committed to starting: a failed manifest
+	// write leaves it fresh, so Start can be retried and the not-started
+	// guards (NewSession, NewFrontend) keep rejecting.
+	d.started = true
 	d.mgr.StartEpochTicker()
 	cfg := wal.Config{
 		Kind:          d.opts.Logging,
 		BatchEpochs:   d.opts.BatchEpochs,
 		FlushInterval: d.opts.EpochInterval / 4,
 		Sync:          !d.opts.DisableSync,
+		ResumeEpoch:   d.resumePepoch,
 	}
 	if d.opts.OnRelease != nil {
 		rel := d.opts.OnRelease
@@ -299,8 +351,53 @@ func (d *DB) Start() {
 			Threads:      ct,
 			IncludeSlots: d.opts.Logging == wal.Physical,
 		}, d.opts.CheckpointEvery)
+		d.daemon.SeedIDs(d.ckptSeed)
 		d.daemon.Start()
 	}
+	return nil
+}
+
+// MustStart is Start that panics on error.
+func (d *DB) MustStart() {
+	if err := d.Start(); err != nil {
+		panic(err)
+	}
+}
+
+// catalogManifest builds the manifest describing this instance's catalog,
+// registration order, logging configuration, and seed fingerprint.
+func (d *DB) catalogManifest() *wal.CatalogManifest {
+	be := d.opts.BatchEpochs
+	if be == 0 {
+		be = wal.DefaultBatchEpochs
+	}
+	m := &wal.CatalogManifest{
+		Kind:        d.opts.Logging,
+		BatchEpochs: be,
+		EpochNanos:  uint64(d.opts.EpochInterval),
+		SeedFP:      d.seedHash.Sum(),
+	}
+	var populated bool
+	for _, t := range d.db.Tables() {
+		s := t.Schema()
+		td := wal.TableDef{Name: t.Name()}
+		for i := 0; i < s.NumColumns(); i++ {
+			td.Columns = append(td.Columns, s.Column(i))
+		}
+		m.Tables = append(m.Tables, td)
+		populated = populated || t.NumSlots() > 0
+	}
+	if populated && d.seedHash.Rows() == 0 {
+		// Rows exist that never passed through Seed (an adopted catalog
+		// populated directly): the fingerprint cannot vouch for the
+		// population, so mark the manifest unvalidatable — Restart will
+		// refuse it and point at the offline Recover path.
+		m.SeedFP = wal.SeedUnverified
+	}
+	for _, c := range d.reg.All() {
+		m.Procs = append(m.Procs, wal.ProcDef{Name: c.Name(), Fingerprint: wal.ProcFingerprint(c)})
+	}
+	return m
 }
 
 // GDGraph returns the dependency graph built at Start (nil before Start).
@@ -322,17 +419,19 @@ func (d *DB) CheckpointRunning() bool {
 	return d.daemon != nil && d.daemon.Running()
 }
 
-// Checkpoint takes one checkpoint immediately.
+// Checkpoint takes one checkpoint immediately. Checkpoint ids increase
+// monotonically, and a restarted instance numbers past the checkpoint it
+// recovered from, so a newer checkpoint always wins FindLatest.
 func (d *DB) Checkpoint() error {
 	if d.daemon != nil {
 		_, err := d.daemon.RunOnce()
 		return err
 	}
-	se := d.mgr.SafeEpoch()
+	se := d.mgr.SnapshotEpoch()
 	_, err := checkpoint.Write(d.db, d.devices, checkpoint.Config{
 		Threads:      len(d.devices),
 		IncludeSlots: d.opts.Logging == wal.Physical,
-	}, 1, engine.MakeTS(se, ^uint32(0)))
+	}, d.ckptSeed+d.manualCkpts.Add(1), engine.MakeTS(se, ^uint32(0)))
 	return err
 }
 
@@ -413,15 +512,22 @@ func (d *DB) NewSession() (*Session, error) {
 	return &Session{d: d, w: w}, nil
 }
 
-// Session is NewSession for brevity in examples and tests: it panics with
-// ErrNotStarted before Start.
-func (d *DB) Session() *Session {
+// MustSession is NewSession that panics on error — the panicking twin of
+// NewSession, following the same convention as MustDefineTable/MustRegister
+// (every constructor has an error variant and a Must* twin).
+func (d *DB) MustSession() *Session {
 	s, err := d.NewSession()
 	if err != nil {
 		panic(err)
 	}
 	return s
 }
+
+// Session is MustSession under its original name.
+//
+// Deprecated: use NewSession (error variant) or MustSession (panicking
+// twin); Session predates the Must* naming convention.
+func (d *DB) Session() *Session { return d.MustSession() }
 
 // Exec runs a stored procedure by name and returns its commit timestamp.
 // The result is NOT durable yet when Exec returns — durability arrives with
@@ -483,8 +589,22 @@ func (s *Session) Heartbeat() { s.w.Heartbeat() }
 // Retire marks the session finished.
 func (s *Session) Retire() { s.w.Retire() }
 
-// RecoverConfig tunes DB.Recover.
+// RecoverConfig tunes Restart and DB.Recover.
 type RecoverConfig struct {
+	// Scheme pins the recovery scheme for Restart. The default, AutoScheme,
+	// derives it from the logging kind in the devices' catalog manifest
+	// (physical→PLR, logical→LLR, command→CLR-P). DB.Recover ignores this
+	// field — its scheme is an explicit parameter.
+	Scheme Scheme
+	// Serve configures the restarted instance's serving behavior (Restart
+	// only): EpochInterval, DisableSync, SingleVersion, CheckpointEvery,
+	// CheckpointThreads, MaxRetries, OnRelease. The logging kind, batch
+	// geometry, and devices always come from the manifest and the device
+	// slice — Logging, BatchEpochs, Devices, and ExistingDevices set here
+	// are overridden — and a zero EpochInterval inherits the crashed
+	// instance's group-commit cadence from the manifest.
+	Serve Options
+	// Threads is the recovery parallelism (default 1).
 	Threads int
 	// Mode selects CLR-P's parallelism (default Pipelined).
 	Mode ReplayMode
@@ -510,7 +630,13 @@ type Breakdown = metrics.Breakdown
 func NewBreakdown() *Breakdown { return sched.NewBreakdown() }
 
 // Recover rebuilds this (fresh, populated, not-started) instance from the
-// logs and checkpoints on the given devices using the chosen scheme.
+// logs and checkpoints on the given devices using the chosen scheme. It is
+// the offline escape hatch: the recovered instance is not started and the
+// catalog is taken on faith — no manifest validation, no epoch resume, no
+// serving. Applications should Restart instead, which validates a Blueprint
+// against the persisted manifest and returns a started, servable instance;
+// Recover remains for the experiment harness (measuring recovery in
+// isolation) and for devices that predate the manifest.
 func (d *DB) Recover(from []*Device, scheme Scheme, cfg RecoverConfig) (*RecoveryResult, error) {
 	if d.started {
 		return nil, errors.New("pacman: recover into a fresh instance, not a started one")
