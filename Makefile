@@ -7,9 +7,9 @@ GO ?= go
 # drain/backpressure/ordering tests.
 RACE_PKGS := . ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/...
 
-.PHONY: check fmt vet build test race smoke bench
+.PHONY: check fmt vet build test race smoke bench bench-all
 
-check: fmt vet build test race smoke
+check: fmt vet build test race smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,12 +30,21 @@ race:
 # A tiny end-to-end run of the bench binary: logs a short smallbank run on
 # two simulated devices and recovers it with every scheme through both the
 # serial and pipelined reload paths, reports durable-commit latency
-# percentiles from the frontend's futures, and drives the blueprint
-# lifecycle through a crash -> Restart -> serve -> crash -> Restart round
-# trip (CLR-P and PLR). Machine-readable BENCH_<experiment>.json results
-# land in bench-results/.
+# percentiles from the frontend's futures, measures forward throughput +
+# allocs/txn under CL/PL/LL (the throughput experiment), and drives the
+# blueprint lifecycle through a crash -> Restart -> serve -> crash ->
+# Restart round trip (CLR-P and PLR). Machine-readable
+# BENCH_<experiment>.json results land in bench-results/.
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload,latency,restart -duration 300ms -workers 2 -json bench-results
+	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,restart -duration 300ms -workers 2 -json bench-results
 
+# The commit-hot-path regression guard: the BenchmarkCommitLogged* micro
+# benchmarks with allocation counts. The allocs/op columns are the contract
+# — the execute->commit->encode->release pipeline stays at a handful of
+# allocations per transaction (see README "Performance").
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=BenchmarkCommitLogged -benchmem -count=1 .
+
+# The full experiment benchmark sweep (slow; not part of check).
+bench-all:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -23,24 +23,25 @@ import (
 )
 
 var experiments = map[string]func(io.Writer, harness.Scale) error{
-	"fig11a":  func(w io.Writer, s harness.Scale) error { return harness.Fig11(w, s, 1) },
-	"fig11b":  func(w io.Writer, s harness.Scale) error { return harness.Fig11(w, s, 2) },
-	"table1":  harness.Table1,
-	"fig12":   harness.Fig12,
-	"fig13":   harness.Fig13,
-	"fig14":   harness.Fig14,
-	"fig15":   harness.Fig15,
-	"fig16":   harness.Fig16,
-	"fig17":   harness.Fig17,
-	"fig18":   harness.Fig18,
-	"fig19":   harness.Fig19,
-	"fig20":   harness.Fig20,
-	"fig21":   harness.Fig21,
-	"table2":  harness.Table2,
-	"table3":  harness.Table3,
-	"reload":  harness.FigReload,
-	"latency": harness.FigLatency,
-	"restart": restartSmoke,
+	"fig11a":     func(w io.Writer, s harness.Scale) error { return harness.Fig11(w, s, 1) },
+	"fig11b":     func(w io.Writer, s harness.Scale) error { return harness.Fig11(w, s, 2) },
+	"table1":     harness.Table1,
+	"fig12":      harness.Fig12,
+	"fig13":      harness.Fig13,
+	"fig14":      harness.Fig14,
+	"fig15":      harness.Fig15,
+	"fig16":      harness.Fig16,
+	"fig17":      harness.Fig17,
+	"fig18":      harness.Fig18,
+	"fig19":      harness.Fig19,
+	"fig20":      harness.Fig20,
+	"fig21":      harness.Fig21,
+	"table2":     harness.Table2,
+	"table3":     harness.Table3,
+	"reload":     harness.FigReload,
+	"latency":    harness.FigLatency,
+	"throughput": harness.FigThroughput,
+	"restart":    restartSmoke,
 }
 
 // benchResult is the machine-readable record one experiment run emits when
@@ -71,7 +72,7 @@ func writeJSON(dir, id string, res benchResult) error {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, restart, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, restart, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")

@@ -62,6 +62,9 @@ type Row struct {
 	Slot uint64 // physical address within the table's slab
 	l    Spin
 	head atomic.Pointer[Version]
+	// stamp is the write-stamp scratch word the transaction layer uses for
+	// allocation-free write-set membership (see Row.SetWriteStamp).
+	stamp atomic.Uint64
 }
 
 // Lock acquires the row latch.
@@ -78,6 +81,21 @@ func (r *Row) Locked() bool { return r.l.Locked() }
 
 // Head returns the newest version, or nil.
 func (r *Row) Head() *Version { return r.head.Load() }
+
+// SetWriteStamp publishes a transaction-attempt token on the row. The
+// transaction layer stamps each row it buffers a write for, then tests
+// membership during read validation with a single load instead of a
+// per-read scan of the write set (or a per-transaction map).
+//
+// The stamp is advisory, never authoritative: tokens are globally unique
+// per transaction attempt, so a matching stamp proves the row is in the
+// attempt's write set, while a mismatch proves nothing (a concurrent
+// writer of the same row may have overwritten the stamp — callers must
+// treat that as "possibly foreign" and fall back to a conservative check).
+func (r *Row) SetWriteStamp(token uint64) { r.stamp.Store(token) }
+
+// WriteStamp returns the row's current write-stamp token.
+func (r *Row) WriteStamp() uint64 { return r.stamp.Load() }
 
 // SetHead stores the version chain head directly. Callers must guarantee
 // exclusive access (hold the latch, or be the key's only writer as in

@@ -12,6 +12,14 @@
 // drains: submissions already queued are executed, late submissions resolve
 // with ErrClosed, and the pool's workers are retired so the safe epoch can
 // advance past their last commits.
+//
+// The pool is also what makes the commit hot path's recycled buffers safe:
+// each pool goroutine is the sole executor on its txn.Worker, so the
+// worker's transaction scratch (read/write sets, reused across retries and
+// transactions) is never aliased, and the commit records it emits flow
+// worker buffer → logger → release without copies — resolved futures are
+// the only client-visible artifact, and the wal release path recycles the
+// records after resolving them (see internal/txn's pool).
 package frontend
 
 import (

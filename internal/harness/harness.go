@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,11 +156,25 @@ type RunResult struct {
 	// checkpointers.
 	LogBytes int64
 	Syncs    int64
-	Trace    []TraceSample
+	// Mallocs is the system-wide heap allocation count over the run
+	// (clients, workers, loggers, checkpointer, sampler — everything), the
+	// forward-processing GC-pressure number the throughput experiment
+	// tracks.
+	Mallocs int64
+	Trace   []TraceSample
 
 	// Crash state for recovery experiments.
 	Devices []*simdisk.Device
 	cfg     RunConfig
+}
+
+// AllocsPerTxn returns heap allocations per committed transaction, the
+// steady-state allocation discipline the commit hot path is measured by.
+func (r *RunResult) AllocsPerTxn() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.Mallocs) / float64(r.Committed)
 }
 
 // maxInFlight bounds how many unresolved futures one client goroutine
@@ -223,6 +238,8 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	txnBudget.Store(int64(cfg.Txns))
 
 	var wg sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for g := 0; g < cfg.Clients; g++ {
 		wg.Add(1)
@@ -316,6 +333,9 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 		mgr.Stop()
 		ls.Abort()
 	}
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	res.Mallocs = int64(memAfter.Mallocs - memBefore.Mallocs)
 	stats := simdisk.PoolOf(devices...).Stats()
 	res.LogBytes = stats.BytesWritten
 	res.Syncs = stats.Syncs

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pacman/internal/wal"
+	"pacman/internal/workload"
+)
+
+// FigThroughput is the forward-processing trajectory experiment: committed
+// txn/s, system-wide allocations per transaction, and p99 durable latency
+// for command, physical, and logical logging on Smallbank and TPC-C, driven
+// through the multiplexing frontend. It is the runtime-cost counterpart of
+// the recovery experiments — PACMAN's premise is that command logging keeps
+// this side nearly free — and the allocs/txn column is the regression guard
+// for the zero-allocation commit/group-commit hot path (see the
+// BenchmarkCommitLogged* micro-benchmarks for the isolated per-commit
+// numbers).
+//
+// Rows are emitted in a parse-friendly key=value form so the JSON record
+// (BENCH_throughput.json) carries a machine-readable series.
+func FigThroughput(w io.Writer, s Scale) error {
+	clients := 4 * s.Workers
+	fmt.Fprintln(w, "=== Throughput: forward processing under each logging scheme ===")
+	fmt.Fprintf(w, "(%d clients over %d workers, %v run, 2 devices; allocs/txn is system-wide mallocs per committed txn)\n\n",
+		clients, s.Workers, s.Duration)
+	for _, wl := range []WorkloadKind{Smallbank, TPCC} {
+		for _, kind := range []wal.Kind{wal.Command, wal.Physical, wal.Logical} {
+			cfg := s.baseRun(kind, 2)
+			cfg.Clients = clients
+			if wl == Smallbank {
+				cfg.Workload = Smallbank
+				cfg.TPCC = workload.TPCCConfig{}
+				cfg.SB = workload.DefaultSmallbankConfig()
+			}
+			res, err := Run(cfg, true)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "workload=%-9s logging=%-3v tps=%-9.0f allocs_txn=%-7.1f exec_p50=%-10v durable_p99=%v\n",
+				wl, kind, res.TPS, res.AllocsPerTxn(),
+				res.ExecLatency.Percentile(50).Round(time.Microsecond),
+				res.Latency.Percentile(99).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package proc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pacman/internal/engine"
 	"pacman/internal/tuple"
@@ -109,6 +110,12 @@ type Compiled struct {
 	body     []cstmt
 	ops      []OpMeta
 	maxDepth int
+
+	// staticLayout caches the register-file layout of loop-free procedures:
+	// with no loops the layout is invocation-independent, so the hot
+	// execute path reuses one immutable Layout instead of recomputing (and
+	// reallocating) it per transaction. Lazily set by NewLayout.
+	staticLayout atomic.Pointer[Layout]
 }
 
 // Name returns the procedure name.

@@ -29,6 +29,12 @@ type ColUpdate struct {
 // Executor is the data-access interface the interpreter runs against. The
 // OLTP transaction (internal/txn) implements it with concurrency control;
 // recovery replay contexts implement it with direct version installation.
+// Executor is the storage interface procedure walks drive.
+//
+// The up and vals slices passed to Write and Insert are owned by the walk
+// and recycled across statements: implementations must copy anything they
+// keep (every executor in the tree installs fresh tuples, so this falls out
+// naturally) and must not retain the slices past the call.
 type Executor interface {
 	// Read returns the current tuple for key, or nil if absent/deleted.
 	Read(t *engine.Table, key uint64) (tuple.Tuple, error)
@@ -175,10 +181,18 @@ type Layout struct {
 	size   int
 }
 
-// NewLayout computes the register-file layout for one invocation.
+// NewLayout computes the register-file layout for one invocation. For
+// loop-free procedures the layout does not depend on the arguments, so one
+// immutable Layout is computed on first use and shared by every later
+// invocation (layouts are never mutated after construction).
 func (c *Compiled) NewLayout(args Args) (*Layout, error) {
 	if len(args) != len(c.params) {
 		return nil, fmt.Errorf("proc %q: got %d args, want %d", c.name, len(args), len(c.params))
+	}
+	if len(c.loops) == 0 {
+		if l := c.staticLayout.Load(); l != nil {
+			return l, nil
+		}
 	}
 	l := &Layout{
 		c:      c,
@@ -203,6 +217,10 @@ func (c *Compiled) NewLayout(args Args) (*Layout, error) {
 		off += max(mult, 1)
 	}
 	l.size = off
+	if len(c.loops) == 0 {
+		// Racing first invocations compute identical layouts; either wins.
+		c.staticLayout.CompareAndSwap(nil, l)
+	}
 	return l, nil
 }
 
@@ -265,6 +283,12 @@ type frame struct {
 
 	accesses []Access
 	opaque   bool // dry walk hit a guard or key it could not evaluate
+
+	// colUps and valsBuf are per-statement scratch for the slices handed to
+	// Executor.Write/Insert (which must not retain them — see Executor),
+	// recycled across statements and walks.
+	colUps  []ColUpdate
+	valsBuf tuple.Tuple
 
 	err     error
 	aborted bool
@@ -412,21 +436,24 @@ func (fr *frame) walk(stmts []cstmt) bool {
 			}
 		case cWrite:
 			if !fr.modStmt(s.op, s.table, s.key, func(key uint64) error {
-				up := make([]ColUpdate, len(s.sets))
-				for i, cs := range s.sets {
+				up := fr.colUps[:0]
+				for _, cs := range s.sets {
 					v, _ := fr.eval(cs.val)
-					up[i] = ColUpdate{Col: cs.col, Val: v}
+					up = append(up, ColUpdate{Col: cs.col, Val: v})
 				}
+				fr.colUps = up
 				return fr.ex.Write(s.table, key, up)
 			}) {
 				return false
 			}
 		case cInsert:
 			if !fr.modStmt(s.op, s.table, s.key, func(key uint64) error {
-				vals := make(tuple.Tuple, len(s.vals))
-				for i, ve := range s.vals {
-					vals[i], _ = fr.eval(ve)
+				vals := fr.valsBuf[:0]
+				for _, ve := range s.vals {
+					v, _ := fr.eval(ve)
+					vals = append(vals, v)
 				}
+				fr.valsBuf = vals
 				return fr.ex.Insert(s.table, key, vals)
 			}) {
 				return false
@@ -629,6 +656,10 @@ func putFrame(fr *frame) {
 	fr.shared = nil
 	fr.filter = nil
 	fr.ex = nil
+	clear(fr.colUps)
+	fr.colUps = fr.colUps[:0]
+	clear(fr.valsBuf)
+	fr.valsBuf = fr.valsBuf[:0]
 	framePool.Put(fr)
 }
 

@@ -65,6 +65,11 @@ func (f *Future) Resolve(durableAt time.Time, err error) {
 // Done returns a channel that is closed when the future resolves.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
+// Resolved reports, without blocking, whether the future has resolved. The
+// commit-record recycler uses it to guarantee a pooled Committed can never
+// be reused while a client may still be waiting on it.
+func (f *Future) Resolved() bool { return f.state.Load() != 0 }
+
 // Wait blocks until resolution and returns the commit timestamp and the
 // terminal error (nil means executed and durable).
 func (f *Future) Wait() (engine.TS, error) {

@@ -23,7 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,6 +170,7 @@ func (m *Manager) Stop() {
 // NewWorker registers a new worker thread context.
 func (m *Manager) NewWorker() *Worker {
 	w := &Worker{mgr: m}
+	w.scratch.mgr = m
 	w.mark.Store(uint64(m.epoch.Load()))
 	m.mu.Lock()
 	w.id = len(m.workers)
@@ -222,11 +223,18 @@ func (m *Manager) SnapshotEpoch() uint32 {
 	return se
 }
 
-// Worker is one transaction-execution thread's context: its epoch mark and
-// commit buffer.
+// Worker is one transaction-execution thread's context: its epoch mark,
+// commit buffer, and reusable transaction scratch.
 type Worker struct {
 	mgr *Manager
 	id  int
+
+	// scratch is the worker's reusable transaction attempt: its read/write
+	// set backing arrays survive across retries and transactions so the
+	// steady-state execute→commit path allocates nothing for bookkeeping.
+	// A Worker executes one transaction at a time (single-goroutine
+	// contract), so the scratch is never aliased.
+	scratch T
 
 	// mark is the lower bound on the epoch of any future commit by this
 	// worker; math.MaxUint32+? (stored as uint64) when retired.
@@ -319,8 +327,13 @@ func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool
 	// Publish the epoch floor for this attempt; any commit that follows
 	// uses an epoch >= mark.
 	w.mark.Store(uint64(w.mgr.epoch.Load()))
+	// The attempt state lives in the worker's reusable scratch: retries and
+	// successive transactions recycle the same read/write-set backing
+	// arrays (begin resets lengths and issues a fresh write-stamp token, so
+	// a retry can never observe a previous attempt's entries).
+	t := &w.scratch
 	for attempt := 0; ; attempt++ {
-		t := &T{mgr: w.mgr}
+		t.begin()
 		err := p.Execute(args, t)
 		if err == nil {
 			ts, cerr := t.commit()
@@ -334,15 +347,14 @@ func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool
 				// Read-only transactions generate no log records (the paper
 				// ignores them in the analysis for the same reason).
 				if len(t.writes) > 0 {
-					c := &Committed{
-						TS:     ts,
-						Epoch:  engine.EpochOf(ts),
-						Proc:   p,
-						Args:   args,
-						AdHoc:  adHoc,
-						Writes: t.writeRecs(),
-						Start:  start,
-					}
+					c := newCommitted()
+					c.TS = ts
+					c.Epoch = engine.EpochOf(ts)
+					c.Proc = p
+					c.Args = args
+					c.AdHoc = adHoc
+					c.Writes = t.appendWriteRecs(c.Writes)
+					c.Start = start
 					w.bufMu.Lock()
 					durErr = w.failErr
 					if f != nil && w.deferred && durErr == nil {
@@ -354,6 +366,7 @@ func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool
 					}
 					w.bufMu.Unlock()
 				}
+				t.release()
 				// The record is buffered; the mark may move up to the
 				// current epoch so group commit is not held back while the
 				// worker sits between transactions.
@@ -385,23 +398,33 @@ func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool
 	}
 }
 
-// Drain removes and returns buffered commits with Epoch <= maxEpoch.
-func (w *Worker) Drain(maxEpoch uint32) []*Committed {
+// DrainInto appends buffered commits with Epoch <= maxEpoch to dst and
+// returns the extended slice. The worker's buffer is compacted in place
+// (its backing array is reused; drained slots are cleared so released
+// records are not pinned), so a logger draining into its own recycled
+// scratch slice performs no allocation in steady state.
+func (w *Worker) DrainInto(dst []*Committed, maxEpoch uint32) []*Committed {
 	w.bufMu.Lock()
 	defer w.bufMu.Unlock()
 	if len(w.buf) == 0 {
-		return nil
+		return dst
 	}
-	var out, keep []*Committed
+	kept := w.buf[:0]
 	for _, c := range w.buf {
 		if c.Epoch <= maxEpoch {
-			out = append(out, c)
+			dst = append(dst, c)
 		} else {
-			keep = append(keep, c)
+			kept = append(kept, c)
 		}
 	}
-	w.buf = keep
-	return out
+	clear(w.buf[len(kept):])
+	w.buf = kept
+	return dst
+}
+
+// Drain removes and returns buffered commits with Epoch <= maxEpoch.
+func (w *Worker) Drain(maxEpoch uint32) []*Committed {
+	return w.DrainInto(nil, maxEpoch)
 }
 
 // BufferedLen returns the number of undrained commits (tests).
@@ -411,12 +434,30 @@ func (w *Worker) BufferedLen() int {
 	return len(w.buf)
 }
 
-// T is one transaction attempt. It implements proc.Executor.
+// stampSeq issues globally unique write-stamp tokens, one per transaction
+// attempt. Tokens start at 1; 0 is the never-stamped state of a fresh row,
+// so a zero token can never produce a false write-set membership match.
+var stampSeq atomic.Uint64
+
+// T is one transaction attempt. It implements proc.Executor. A T is
+// recycled across retries and transactions (it is the Worker's scratch):
+// begin resets the read/write sets in place, keeping their backing arrays.
 type T struct {
 	mgr    *Manager
 	reads  []readEnt
 	writes []writeEnt
-	wIdx   map[*engine.Row]int
+	// token is this attempt's write-stamp: every row buffered for write is
+	// stamped with it (engine.Row.SetWriteStamp), giving validation an O(1)
+	// membership probe instead of the former per-transaction map or an
+	// O(reads×writes) scan.
+	token uint64
+}
+
+// begin resets the scratch for a fresh attempt. Entries are cleared before
+// truncation so recycled slots cannot pin tuples from earlier attempts.
+func (t *T) begin() {
+	t.release()
+	t.token = stampSeq.Add(1)
 }
 
 type readEnt struct {
@@ -436,12 +477,20 @@ func (t *T) recordRead(row *engine.Row, v *engine.Version) {
 	t.reads = append(t.reads, readEnt{row: row, observed: v})
 }
 
+// pendingIdx reports whether row is already in the write set, and where.
+// It scans backwards — OLTP write sets are small and the most recently
+// buffered row is the likeliest repeat — which beats a map both in lookup
+// cost and in allocations (none). The scan, not the row's write-stamp, is
+// the ground truth: a concurrent transaction may overwrite our stamp at any
+// time, and a false "not pending" here would buffer a duplicate entry and
+// self-deadlock in the lock phase.
 func (t *T) pendingIdx(row *engine.Row) (int, bool) {
-	if t.wIdx == nil {
-		return 0, false
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if t.writes[i].row == row {
+			return i, true
+		}
 	}
-	i, ok := t.wIdx[row]
-	return i, ok
+	return 0, false
 }
 
 func (t *T) buffer(tab *engine.Table, key uint64, row *engine.Row, data tuple.Tuple, deleted bool) {
@@ -450,10 +499,12 @@ func (t *T) buffer(tab *engine.Table, key uint64, row *engine.Row, data tuple.Tu
 		t.writes[i].deleted = deleted
 		return
 	}
-	if t.wIdx == nil {
-		t.wIdx = make(map[*engine.Row]int)
+	if t.token == 0 {
+		// Directly constructed T (tests); Worker.execute issues tokens in
+		// begin.
+		t.token = stampSeq.Add(1)
 	}
-	t.wIdx[row] = len(t.writes)
+	row.SetWriteStamp(t.token)
 	t.writes = append(t.writes, writeEnt{table: tab, key: key, row: row, data: data, deleted: deleted})
 }
 
@@ -538,25 +589,54 @@ func (t *T) Delete(tab *engine.Table, key uint64) error {
 	return nil
 }
 
-// release drops buffers after an abort.
+// release resets the scratch after an abort (and after a successful commit
+// has been converted to log form). Entries are cleared so the recycled
+// backing arrays do not pin row tuples; lengths go to zero but capacity is
+// kept for the next attempt.
 func (t *T) release() {
-	t.reads = nil
-	t.writes = nil
-	t.wIdx = nil
+	clear(t.reads)
+	clear(t.writes)
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+}
+
+// writeEntLess orders the write set by (table, key) for the lock phase.
+func writeEntLess(a, b *writeEnt) bool {
+	if a.table.ID() != b.table.ID() {
+		return a.table.ID() < b.table.ID()
+	}
+	return a.key < b.key
+}
+
+// sortWrites orders t.writes by (table, key) without allocating: insertion
+// sort for the small write sets OLTP transactions carry, falling back to
+// slices.SortFunc (also allocation-free) past a threshold.
+func (t *T) sortWrites() {
+	const insertionMax = 24
+	ws := t.writes
+	if len(ws) <= insertionMax {
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && writeEntLess(&ws[j], &ws[j-1]); j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(ws, func(a, b writeEnt) int {
+		if writeEntLess(&a, &b) {
+			return -1
+		}
+		if writeEntLess(&b, &a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // commit runs the OCC commit protocol and returns the commit timestamp.
 func (t *T) commit() (engine.TS, error) {
 	// Phase 1: lock the write set in (table, key) order — deadlock-free.
-	sort.Slice(t.writes, func(i, j int) bool {
-		a, b := &t.writes[i], &t.writes[j]
-		if a.table.ID() != b.table.ID() {
-			return a.table.ID() < b.table.ID()
-		}
-		return a.key < b.key
-	})
-	// wIdx is invalidated by the sort; it is not used past this point.
-	t.wIdx = nil
+	t.sortWrites()
 	for i := range t.writes {
 		t.writes[i].row.Lock()
 	}
@@ -570,7 +650,14 @@ func (t *T) commit() (engine.TS, error) {
 	// conflicting transactions get ordered timestamps.
 	ts := engine.MakeTS(t.mgr.epoch.Load(), t.mgr.seq.Add(1))
 
-	// Phase 3: validate reads.
+	// Phase 3: validate reads. Write-set membership is probed through the
+	// row's write-stamp: a matching token proves the row is ours (tokens
+	// are unique per attempt), so the common cases — unlocked rows and our
+	// own locked writes — validate with two loads and no scan. A mismatched
+	// token on a locked row is ambiguous (a concurrent writer of the same
+	// row may have overwritten our stamp), so only then does the exact
+	// write-set scan run; it is the ground truth and keeps contended
+	// workloads free of spurious aborts.
 	inWrites := func(row *engine.Row) bool {
 		for i := range t.writes {
 			if t.writes[i].row == row {
@@ -579,13 +666,14 @@ func (t *T) commit() (engine.TS, error) {
 		}
 		return false
 	}
-	for _, r := range t.reads {
+	for i := range t.reads {
+		r := &t.reads[i]
 		if r.row.Head() != r.observed {
 			unlock()
 			t.release()
 			return 0, ErrConflict
 		}
-		if !inWrites(r.row) && r.row.Locked() {
+		if r.row.WriteStamp() != t.token && r.row.Locked() && !inWrites(r.row) {
 			unlock()
 			t.release()
 			return 0, ErrConflict
@@ -602,18 +690,18 @@ func (t *T) commit() (engine.TS, error) {
 	return ts, nil
 }
 
-// writeRecs converts the installed writes to log form.
-func (t *T) writeRecs() []WriteRec {
-	out := make([]WriteRec, len(t.writes))
+// appendWriteRecs appends the installed writes in log form to dst (the
+// commit record's recycled Writes buffer) and returns the extended slice.
+func (t *T) appendWriteRecs(dst []WriteRec) []WriteRec {
 	for i := range t.writes {
 		w := &t.writes[i]
-		out[i] = WriteRec{
+		dst = append(dst, WriteRec{
 			Table:   w.table,
 			Key:     w.key,
 			Slot:    w.row.Slot,
 			Deleted: w.deleted,
 			After:   w.data,
-		}
+		})
 	}
-	return out
+	return dst
 }

@@ -1,9 +1,11 @@
 package wal
 
 import (
+	"cmp"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,7 +50,10 @@ type Config struct {
 	ResumeEpoch uint32
 	// OnRelease, if set, is called with transactions whose results become
 	// releasable: their epoch is covered by the persistent epoch. The
-	// harness measures end-to-end latency here.
+	// harness measures end-to-end latency here. The observer owns the
+	// slice and the records it receives (they are never recycled into the
+	// commit-record pool while an observer is configured), so it may
+	// retain both past the call.
 	OnRelease func([]*txn.Committed)
 }
 
@@ -76,6 +81,12 @@ type LogSet struct {
 	pepoch    atomic.Uint32
 	pepochDev *simdisk.Device
 
+	// peMu/peCond wake WaitForEpoch callers when the persistent epoch
+	// advances (broadcast from updatePepoch), replacing the former 100µs
+	// busy-poll loop.
+	peMu   sync.Mutex
+	peCond *sync.Cond
+
 	stopCh  chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
@@ -97,9 +108,21 @@ type Logger struct {
 	curBatch  uint32
 	curWriter *simdisk.Writer
 
+	// recs and encBuf are flush scratch, reused across flushes (flush runs
+	// on the single logger goroutine): drained commit records and the
+	// encode buffer one flush's records are framed into.
+	recs   []*txn.Committed
+	encBuf []byte
+
 	// flushed-but-unreleased transactions, keyed by epoch order.
 	pendMu  sync.Mutex
 	pending []*txn.Committed
+	// relBuf is takeReleased's reused output buffer. Successive
+	// takeReleased calls on one logger are serialized (the pepoch goroutine
+	// while running; Close/Abort's failOutstanding only after goroutines
+	// stop), and each caller finishes with the returned slice before the
+	// next call, so one buffer suffices.
+	relBuf []*txn.Committed
 }
 
 // NewLogSet builds a logging subsystem with one logger per device. With
@@ -112,6 +135,7 @@ func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet 
 		cfg.FlushInterval = time.Millisecond
 	}
 	s := &LogSet{mgr: mgr, cfg: cfg, stopCh: make(chan struct{})}
+	s.peCond = sync.NewCond(&s.peMu)
 	if cfg.Kind == Off || len(devices) == 0 {
 		return s
 	}
@@ -229,10 +253,14 @@ func (s *LogSet) failOutstanding(err error) {
 		for _, w := range workers {
 			w.FailDurability(err)
 		}
-		for _, c := range lg.takeReleased(^uint32(0)) {
+		failed := lg.takeReleased(^uint32(0))
+		for _, c := range failed {
 			if c.Future != nil {
 				c.Future.Resolve(now, err)
 			}
+		}
+		if s.cfg.OnRelease == nil {
+			txn.RecycleCommitted(failed)
 		}
 	}
 }
@@ -248,15 +276,31 @@ func (s *LogSet) PersistedEpoch() uint32 {
 }
 
 // WaitForEpoch blocks until the persistent epoch reaches e (tests and
-// clean shutdown).
+// clean shutdown). Waiters park on a condition variable signaled from
+// updatePepoch instead of busy-polling. With logging inactive the
+// persistent epoch shadows the safe epoch (which advances with the epoch
+// clock, not through updatePepoch), so that case keeps a poll loop.
 func (s *LogSet) WaitForEpoch(e uint32) {
-	for s.PersistedEpoch() < e {
-		time.Sleep(100 * time.Microsecond)
+	if !s.Active() {
+		for s.PersistedEpoch() < e {
+			time.Sleep(100 * time.Microsecond)
+		}
+		return
 	}
+	s.peMu.Lock()
+	for s.pepoch.Load() < e {
+		s.peCond.Wait()
+	}
+	s.peMu.Unlock()
 }
 
 // updatePepoch recomputes the minimum persisted epoch, records it durably
-// in pepoch.log, and releases covered transactions.
+// in pepoch.log when (and only when) it advanced, and releases covered
+// transactions. The release scan runs every pass, advance or not: a flush
+// can land records whose epochs an earlier pass already covered (the safe
+// epoch reached them between flushes), and those must not sit pending until
+// the next advance — or worse, be failed with ErrClosed by a shutdown that
+// never saw pepoch move again.
 func (s *LogSet) updatePepoch() {
 	if len(s.loggers) == 0 {
 		return
@@ -267,9 +311,6 @@ func (s *LogSet) updatePepoch() {
 			pe = p
 		}
 	}
-	if pe <= s.pepoch.Load() && pe != 0 {
-		return
-	}
 	if pe > s.pepoch.Load() {
 		w := s.pepochDev.Create(PepochFileName)
 		var buf [8]byte
@@ -278,11 +319,21 @@ func (s *LogSet) updatePepoch() {
 		w.Write(buf[:])
 		w.Sync()
 		s.pepoch.Store(pe)
+		// Wake WaitForEpoch parkers. The broadcast happens under peMu so a
+		// waiter that just checked the old pepoch is already parked (or
+		// holds the lock and will see the new value); the store above may
+		// stay outside the lock.
+		s.peMu.Lock()
+		s.peCond.Broadcast()
+		s.peMu.Unlock()
 	}
 	// Release covered transactions: resolve each durable-commit future,
 	// then surface the same epoch batch to the OnRelease observer (the
 	// legacy callback rides the future-release path — both see exactly the
-	// transactions whose epochs the new pepoch covers).
+	// transactions whose epochs the new pepoch covers). Without an
+	// observer the records have no remaining owner and recycle into the
+	// commit-record pool; an observer takes ownership instead (it may
+	// retain them past the call).
 	now := time.Now()
 	for _, lg := range s.loggers {
 		released := lg.takeReleased(pe)
@@ -295,7 +346,13 @@ func (s *LogSet) updatePepoch() {
 			}
 		}
 		if s.cfg.OnRelease != nil {
-			s.cfg.OnRelease(released)
+			// The observer owns what it receives and may retain it, so it
+			// gets its own slice — the logger's release buffer is rewritten
+			// on the next pass. Only this observer-configured (legacy,
+			// non-hot) path pays the copy.
+			s.cfg.OnRelease(append([]*txn.Committed(nil), released...))
+		} else {
+			txn.RecycleCommitted(released)
 		}
 	}
 }
@@ -321,16 +378,21 @@ func ReadPepoch(dev *simdisk.Device) (uint32, error) {
 }
 
 // flush drains the logger's workers up to safeEpoch, appends the records to
-// the right batch files (in epoch order), and syncs once.
+// the right batch files (in epoch order), and syncs once. The whole pass is
+// allocation-free in steady state: records drain into the logger's recycled
+// scratch slice, batch grouping is a stable in-place sort (no per-flush
+// map), and every record frames itself directly into one reused encode
+// buffer.
 func (lg *Logger) flush(safeEpoch uint32) {
 	lg.wmu.Lock()
 	workers := lg.workers
 	lg.wmu.Unlock()
 
-	var recs []*txn.Committed
+	recs := lg.recs[:0]
 	for _, w := range workers {
-		recs = append(recs, w.Drain(safeEpoch)...)
+		recs = w.DrainInto(recs, safeEpoch)
 	}
+	lg.recs = recs
 	if len(recs) == 0 {
 		// Even with nothing to write, the epoch may have advanced.
 		if safeEpoch > lg.persisted.Load() {
@@ -338,30 +400,27 @@ func (lg *Logger) flush(safeEpoch uint32) {
 		}
 		return
 	}
-	// Group records by batch and write batch-by-batch in order.
-	byBatch := make(map[uint32][]*txn.Committed)
-	var batches []uint32
-	for _, c := range recs {
-		b := c.Epoch / lg.set.cfg.BatchEpochs
-		if _, ok := byBatch[b]; !ok {
-			batches = append(batches, b)
+	// Group records by batch: a stable sort on batch id keeps the former
+	// map-of-slices' drain order within each batch, and a flush almost
+	// always lands in a single batch, making this one comparison pass.
+	batchEpochs := lg.set.cfg.BatchEpochs
+	slices.SortStableFunc(recs, func(a, b *txn.Committed) int {
+		return cmp.Compare(a.Epoch/batchEpochs, b.Epoch/batchEpochs)
+	})
+	for lo := 0; lo < len(recs); {
+		b := recs[lo].Epoch / batchEpochs
+		hi := lo + 1
+		for hi < len(recs) && recs[hi].Epoch/batchEpochs == b {
+			hi++
 		}
-		byBatch[b] = append(byBatch[b], c)
-	}
-	// Sort batch IDs ascending (tiny slice).
-	for i := 1; i < len(batches); i++ {
-		for j := i; j > 0 && batches[j] < batches[j-1]; j-- {
-			batches[j], batches[j-1] = batches[j-1], batches[j]
-		}
-	}
-	var buf []byte
-	for _, b := range batches {
 		w := lg.writerFor(b)
-		buf = buf[:0]
-		for _, c := range byBatch[b] {
+		buf := lg.encBuf[:0]
+		for _, c := range recs[lo:hi] {
 			buf = encodeRecord(buf, lg.set.cfg.Kind, c)
 		}
+		lg.encBuf = buf
 		w.Write(buf)
+		lo = hi
 	}
 	if lg.set.cfg.Sync && lg.curWriter != nil {
 		lg.curWriter.Sync()
@@ -397,17 +456,25 @@ func (lg *Logger) closeBatch() {
 }
 
 // takeReleased removes and returns pending transactions with epoch <= pe.
+// The pending set is partitioned in place (kept records compact to the
+// front, vacated slots are cleared so released records are not pinned) and
+// the result lands in the logger's reused release buffer: the caller must
+// be done with the returned slice before the next takeReleased call on this
+// logger — release calls are serialized, see the relBuf field.
 func (lg *Logger) takeReleased(pe uint32) []*txn.Committed {
 	lg.pendMu.Lock()
 	defer lg.pendMu.Unlock()
-	var out, keep []*txn.Committed
+	out := lg.relBuf[:0]
+	kept := lg.pending[:0]
 	for _, c := range lg.pending {
 		if c.Epoch <= pe {
 			out = append(out, c)
 		} else {
-			keep = append(keep, c)
+			kept = append(kept, c)
 		}
 	}
-	lg.pending = keep
+	clear(lg.pending[len(kept):])
+	lg.pending = kept
+	lg.relBuf = out
 	return out
 }

@@ -113,30 +113,37 @@ func decodeFileHeader(b []byte) (kind Kind, loggerID int, batch uint32, rest []b
 
 // encodeRecord appends one framed record ([len][crc][payload]) for the given
 // logging scheme. Under command logging, ad-hoc transactions fall back to a
-// logical tuple record (Section 4.5).
+// logical tuple record (Section 4.5). The payload is encoded directly into
+// buf — the frame header is reserved up front and backfilled — so a flush
+// reusing one encode buffer performs no per-record allocation.
 func encodeRecord(buf []byte, kind Kind, c *txn.Committed) []byte {
-	var payload []byte
-	payload = binary.LittleEndian.AppendUint64(payload, c.TS)
-	switch {
-	case kind == Command && !c.AdHoc:
-		payload = append(payload, 0) // flags
-		payload = binary.LittleEndian.AppendUint16(payload, uint16(c.Proc.ID()))
-		payload = proc.AppendArgs(payload, c.Args)
-	case kind == Command && c.AdHoc:
-		payload = append(payload, flagAdHoc)
-		payload = appendLogicalWrites(payload, c.Writes)
-	case kind == Logical:
-		payload = append(payload, 0)
-		payload = appendLogicalWrites(payload, c.Writes)
-	case kind == Physical:
-		payload = append(payload, 0)
-		payload = appendPhysicalWrites(payload, c.Writes)
-	default:
+	if kind == Off {
 		return buf // Off: nothing
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
-	return append(buf, payload...)
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // [len][crc], backfilled below
+	buf = binary.LittleEndian.AppendUint64(buf, c.TS)
+	switch {
+	case kind == Command && !c.AdHoc:
+		buf = append(buf, 0) // flags
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(c.Proc.ID()))
+		buf = proc.AppendArgs(buf, c.Args)
+	case kind == Command && c.AdHoc:
+		buf = append(buf, flagAdHoc)
+		buf = appendLogicalWrites(buf, c.Writes)
+	case kind == Logical:
+		buf = append(buf, 0)
+		buf = appendLogicalWrites(buf, c.Writes)
+	case kind == Physical:
+		buf = append(buf, 0)
+		buf = appendPhysicalWrites(buf, c.Writes)
+	default:
+		return buf[:base] // unknown kind: drop the reserved frame
+	}
+	payload := buf[base+8:]
+	binary.LittleEndian.PutUint32(buf[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(payload, crcTable))
+	return buf
 }
 
 func appendLogicalWrites(buf []byte, ws []txn.WriteRec) []byte {
