@@ -4,12 +4,13 @@ GO ?= go
 
 # The root package carries the public-API frontend/future tests (64 clients
 # over 8 sessions, crash resolution); internal/frontend has the pool-level
-# drain/backpressure/ordering tests.
-RACE_PKGS := . ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/...
+# drain/backpressure/ordering tests; torture/simdisk/checkpoint carry the
+# crash-injection subsystem and its fault plane.
+RACE_PKGS := . ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/...
 
-.PHONY: check fmt vet build test race smoke bench bench-all
+.PHONY: check fmt vet build test race torture smoke bench bench-all
 
-check: fmt vet build test race smoke bench
+check: fmt vet build test race torture smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -27,6 +28,15 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# The crash-injection torture subsystem's CI entry point: the short fixed
+# seed set per logging kind (one seed per kind crashing *during* Restart)
+# plus the Future crash-semantics contract, raced. An oracle violation
+# prints the failing seed and the armed fault plans; reproduce it with
+# `go run ./cmd/pacman-bench -exp torture -seed <s> -iters 1`. The wide
+# sweep hides behind `go test -run TestTortureLong -torture.long .`.
+torture:
+	$(GO) test -race -count=1 -run 'TestTortureShort|TestFutureCrashSemantics' -v .
+
 # A tiny end-to-end run of the bench binary: logs a short smallbank run on
 # two simulated devices and recovers it with every scheme through both the
 # serial and pipelined reload paths, reports durable-commit latency
@@ -36,7 +46,7 @@ race:
 # Restart round trip (CLR-P and PLR). Machine-readable
 # BENCH_<experiment>.json results land in bench-results/.
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,restart -duration 300ms -workers 2 -json bench-results
+	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,restart,torture -duration 300ms -workers 2 -json bench-results
 
 # The commit-hot-path regression guard: the BenchmarkCommitLogged* micro
 # benchmarks with allocation counts. The allocs/op columns are the contract

@@ -42,6 +42,7 @@ var experiments = map[string]func(io.Writer, harness.Scale) error{
 	"latency":    harness.FigLatency,
 	"throughput": harness.FigThroughput,
 	"restart":    restartSmoke,
+	"torture":    tortureExp,
 }
 
 // benchResult is the machine-readable record one experiment run emits when
@@ -72,12 +73,17 @@ func writeJSON(dir, id string, res benchResult) error {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, restart, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, restart, torture, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")
 	workers := flag.Int("workers", 0, "override OLTP worker count")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
+	seed := flag.Int64("seed", 0, "torture experiment: first seed to sweep (reproduces a reported oracle violation)")
+	iters := flag.Int("iters", 0, "torture experiment: how many consecutive seeds to sweep")
+	cycles := flag.Int("cycles", 0, "torture experiment: crash/restart cycles per run (violation reports print the value to pass)")
+	txns := flag.Int("txns", 0, "torture experiment: transaction budget per cycle (violation reports print the value to pass)")
+	force := flag.Bool("force", false, "torture experiment: with -seed, pin the forced crash-during-Restart flag of the reproduced run")
 	jsonDir := flag.String("json", "", "also write machine-readable BENCH_<experiment>.json results into this directory")
 	flag.Parse()
 
@@ -101,6 +107,11 @@ func main() {
 	if *warehouses > 0 {
 		scale.Warehouses = *warehouses
 	}
+	scale.TortureSeed = *seed
+	scale.TortureIters = *iters
+	scale.TortureCycles = *cycles
+	scale.TortureTxns = *txns
+	scale.TortureForce = *force
 
 	run := func(id string) {
 		fn, ok := experiments[id]

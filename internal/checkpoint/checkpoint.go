@@ -18,6 +18,7 @@ package checkpoint
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -30,6 +31,8 @@ const (
 	manifestMagic = 0x5041434B // "PACK"
 	shardMagic    = 0x50414353 // "PACS"
 )
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Config tunes checkpointing.
 type Config struct {
@@ -130,9 +133,13 @@ func Write(db *engine.Database, devices []*simdisk.Device, cfg Config, id uint32
 	}
 	man.Rows = rows
 
-	// Manifest last: its presence marks the checkpoint complete.
+	// Manifest last: its (checksummed) presence marks the checkpoint
+	// complete. A crash before the sync leaves a torn manifest that fails
+	// the CRC and the previous checkpoint stays authoritative.
 	w := devices[0].Create(ManifestName(id))
-	w.Write(encodeManifest(man))
+	if _, err := w.Write(encodeManifest(man)); err != nil {
+		return nil, err
+	}
 	if err := w.Sync(); err != nil {
 		return nil, err
 	}
@@ -170,6 +177,11 @@ func writeShard(t *engine.Table, dev *simdisk.Device, cfg Config, id uint32, sha
 	return rows, w.Sync()
 }
 
+// encodeManifest frames the manifest as magic + payload + trailing CRC32.
+// The CRC is what makes "the manifest's presence marks the checkpoint
+// complete" crash-safe: a manifest torn by a power failure mid-write — even
+// one whose partially persisted sector decodes structurally — fails the
+// checksum and the previous checkpoint stays authoritative.
 func encodeManifest(m *Manifest) []byte {
 	var b []byte
 	b = binary.LittleEndian.AppendUint32(b, manifestMagic)
@@ -195,12 +207,16 @@ func encodeManifest(m *Manifest) []byte {
 			b = binary.LittleEndian.AppendUint16(b, uint16(shards))
 		}
 	}
-	return b
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
 }
 
 func decodeManifest(b []byte) (*Manifest, error) {
-	if len(b) < 4+4+8+1+8+2 {
+	if len(b) < 4+4+8+1+8+2+4 {
 		return nil, fmt.Errorf("checkpoint: manifest truncated")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, fmt.Errorf("checkpoint: manifest checksum mismatch")
 	}
 	if binary.LittleEndian.Uint32(b) != manifestMagic {
 		return nil, fmt.Errorf("checkpoint: bad manifest magic")
@@ -215,7 +231,7 @@ func decodeManifest(b []byte) (*Manifest, error) {
 	n := int(binary.LittleEndian.Uint16(b[25:]))
 	off := 27
 	for i := 0; i < n; i++ {
-		if len(b[off:]) < 4 {
+		if len(body[off:]) < 4 {
 			return nil, fmt.Errorf("checkpoint: manifest tables truncated")
 		}
 		id := int(binary.LittleEndian.Uint16(b[off:]))
@@ -226,7 +242,13 @@ func decodeManifest(b []byte) (*Manifest, error) {
 }
 
 // FindLatest locates the newest complete checkpoint across the devices, or
-// returns nil if none exists.
+// returns nil if none exists. Only a manifest that fails to DECODE is
+// treated as incomplete (crashed mid-manifest); an I/O error reading one
+// propagates — swallowing a transient read fault here would silently skip
+// a durable checkpoint and fork the recovery timeline (the checkpoint's
+// snapshot can cover epochs beyond the logged pepoch, so recovering
+// without it yields a different state than the next recovery, which may
+// see the checkpoint again).
 func FindLatest(devices []*simdisk.Device) (*Manifest, error) {
 	var best *Manifest
 	for _, d := range devices {
@@ -236,11 +258,11 @@ func FindLatest(devices []*simdisk.Device) (*Manifest, error) {
 			}
 			r, err := d.Open(name)
 			if err != nil {
-				continue
+				return nil, err
 			}
 			data, err := r.ReadAll()
 			if err != nil {
-				continue
+				return nil, err
 			}
 			m, err := decodeManifest(data)
 			if err != nil {

@@ -22,6 +22,22 @@ type Scale struct {
 	Threads []int
 	// Warehouses scales TPC-C.
 	Warehouses int
+	// TortureSeed is the first seed the torture experiment sweeps
+	// (pacman-bench -seed; 0 means 1). An oracle violation prints the
+	// failing seed — rerunning with it re-derives the identical fault plans.
+	TortureSeed int64
+	// TortureIters is how many consecutive seeds the torture experiment
+	// sweeps (pacman-bench -iters; 0 means the scale default).
+	TortureIters int
+	// TortureCycles/TortureTxns override the torture run shape
+	// (pacman-bench -cycles/-txns; 0 means the scale default). A violation
+	// report prints the exact shape to pass back, because the fault-plan
+	// stream depends on it.
+	TortureCycles, TortureTxns int
+	// TortureForce pins ForceRecoveryCrash when reproducing with an
+	// explicit -seed (pacman-bench -force); sweeps without -seed force the
+	// first seed only.
+	TortureForce bool
 }
 
 // DefaultScale returns the preset for the given mode.

@@ -1,0 +1,330 @@
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Fault plane
+//
+// A FaultPlan arms deterministic power failures and media faults on a group
+// of devices, at byte/op granularity. The torture subsystem derives plans
+// from a seeded RNG, so a failing run reproduces from its printed seed and
+// plan. Two fault families exist:
+//
+//   - Power failures: when any armed trigger fires (the Nth write, sync, or
+//     read on a device, or a cumulative written-byte watermark reached
+//     mid-write), the WHOLE group power-fails at that instant, as in a real
+//     outage — every device freezes its persisted image and every later
+//     write, sync, or read fails with ErrPowerFailed. The persisted image
+//     is the durable prefix plus, when TornTailBytes is armed, a partial
+//     unsynced tail (optionally bit-flipped), modeling sectors that reached
+//     the platter out of a larger unsynced write. Devices freeze at their
+//     own watermarks, so a group crash naturally produces per-device
+//     durability skew.
+//   - Transient media faults: ReadErrAfterReads fails exactly one read with
+//     ErrInjectedRead and then disarms, modeling a retryable media error
+//     during recovery reload.
+//
+// Clients that care about durability must check Sync errors: after a power
+// failure Sync fails and the durable watermark does not advance, so an
+// acknowledgment issued despite a failed Sync is a durability bug the
+// torture oracle will catch.
+
+// ErrPowerFailed is returned by device operations after an armed fault has
+// power-failed the device's group. The instance keeps "running" until its
+// driver observes the trip; nothing it writes after this lands.
+var ErrPowerFailed = errors.New("simdisk: device group power-failed")
+
+// ErrInjectedRead is the transient, one-shot read fault armed by
+// DeviceFaults.ReadErrAfterReads.
+var ErrInjectedRead = errors.New("simdisk: injected transient read error")
+
+// DeviceFaults arms the fault triggers of one device in a plan. All
+// triggers count operations on this device from the moment Arm is called;
+// zero disables a trigger.
+type DeviceFaults struct {
+	// CrashAfterWrites power-fails the group when this device completes its
+	// Nth write call.
+	CrashAfterWrites int64
+	// CrashAfterBytes power-fails the group mid-write once this many bytes
+	// have been appended to the device: the tripping write lands only its
+	// prefix up to the watermark (byte granularity), unsynced.
+	CrashAfterBytes int64
+	// CrashAfterSyncs power-fails the group when this device completes its
+	// Nth sync. The Nth sync itself is durable — the lights go out after.
+	CrashAfterSyncs int64
+	// CrashAfterReads power-fails the group on this device's Nth read call,
+	// which fails; recovery-time trips use this.
+	CrashAfterReads int64
+	// TornTailBytes: at power failure, this device retains up to this many
+	// unsynced bytes per file past the durable watermark — a torn tail —
+	// instead of clean truncation.
+	TornTailBytes int64
+	// CorruptTornTail flips the bits of the last retained torn byte,
+	// modeling a partially written sector of garbage.
+	CorruptTornTail bool
+	// ReadErrAfterReads makes this device's Nth read fail with
+	// ErrInjectedRead, once; the fault then disarms and a retry succeeds.
+	ReadErrAfterReads int64
+
+	writes atomic.Int64
+	bytes  atomic.Int64
+	syncs  atomic.Int64
+	reads  atomic.Int64
+	// readErrFired latches the one-shot transient read fault.
+	readErrFired atomic.Bool
+}
+
+// String renders the armed triggers, for fault-plan reproduction reports.
+func (f *DeviceFaults) String() string {
+	var parts []string
+	add := func(name string, v int64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("crashAfterWrites", f.CrashAfterWrites)
+	add("crashAfterBytes", f.CrashAfterBytes)
+	add("crashAfterSyncs", f.CrashAfterSyncs)
+	add("crashAfterReads", f.CrashAfterReads)
+	add("tornTailBytes", f.TornTailBytes)
+	if f.CorruptTornTail {
+		parts = append(parts, "corruptTornTail")
+	}
+	add("readErrAfterReads", f.ReadErrAfterReads)
+	if len(parts) == 0 {
+		return "clean"
+	}
+	return strings.Join(parts, ",")
+}
+
+// FaultPlan binds per-device faults to a device group that power-fails as a
+// unit. Build one, assign DeviceFaults per device name, then Arm it.
+type FaultPlan struct {
+	// Devs maps device name to its armed faults. Devices of the armed group
+	// without an entry power-fail with clean truncation.
+	Devs map[string]*DeviceFaults
+	// OnTrip, if set, is called exactly once, from the goroutine whose
+	// operation tripped the power failure — the torture driver uses it to
+	// initiate the full-instance crash.
+	OnTrip func(dev, op string)
+
+	mu      sync.Mutex
+	devices []*Device
+	tripped atomic.Bool
+}
+
+// String renders the whole plan for reproduction reports.
+func (p *FaultPlan) String() string {
+	if p == nil || len(p.Devs) == 0 {
+		return "clean"
+	}
+	names := make([]string, 0, len(p.Devs))
+	for n := range p.Devs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s{%s}", n, p.Devs[n]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Tripped reports whether the plan's power failure has fired.
+func (p *FaultPlan) Tripped() bool { return p != nil && p.tripped.Load() }
+
+// Arm installs the plan on the devices, which now form one power-fail
+// group. Counting starts now. Arm replaces any previously armed plan on
+// each device (and revives a device a previous plan had powered off).
+func (p *FaultPlan) Arm(devices ...*Device) {
+	p.mu.Lock()
+	p.devices = append([]*Device(nil), devices...)
+	p.mu.Unlock()
+	for _, d := range devices {
+		d.fmu.Lock()
+		d.plan = p
+		d.faults = p.Devs[d.name]
+		d.poweredOff = false
+		d.fmu.Unlock()
+	}
+}
+
+// Disarm detaches the plan from its devices and restores power, leaving
+// each device's files exactly as the failure persisted them — the state the
+// next incarnation recovers from.
+func (p *FaultPlan) Disarm() {
+	p.mu.Lock()
+	devices := p.devices
+	p.devices = nil
+	p.mu.Unlock()
+	for _, d := range devices {
+		d.fmu.Lock()
+		if d.plan == p {
+			d.plan = nil
+			d.faults = nil
+			d.poweredOff = false
+		}
+		d.fmu.Unlock()
+	}
+}
+
+// trip power-fails the whole group: every member device freezes its
+// persisted image (durable prefix + armed torn tail) and rejects further
+// operations. First trip wins; later triggers are no-ops.
+func (p *FaultPlan) trip(dev, op string) {
+	if !p.tripped.CompareAndSwap(false, true) {
+		return
+	}
+	p.mu.Lock()
+	devices := p.devices
+	p.mu.Unlock()
+	for _, d := range devices {
+		d.powerFail(p.Devs[d.name])
+	}
+	if p.OnTrip != nil {
+		p.OnTrip(dev, op)
+	}
+}
+
+// powerFail freezes the device at the failure instant: each file keeps its
+// durable prefix plus the armed torn tail, and that image becomes the
+// persisted content (later Crash calls must not truncate a torn tail the
+// failure deliberately left on the medium).
+func (d *Device) powerFail(f *DeviceFaults) {
+	d.fmu.Lock()
+	d.poweredOff = true
+	d.fmu.Unlock()
+	var tornBytes int64
+	var corrupt bool
+	if f != nil {
+		tornBytes = f.TornTailBytes
+		corrupt = f.CorruptTornTail
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, fl := range d.files {
+		fl.mu.Lock()
+		keep := fl.durable
+		if torn := len(fl.data) - fl.durable; torn > 0 && tornBytes > 0 {
+			extra := torn
+			if int64(extra) > tornBytes {
+				extra = int(tornBytes)
+			}
+			keep += extra
+			if corrupt {
+				fl.data[keep-1] ^= 0xFF
+			}
+		}
+		fl.data = fl.data[:keep]
+		fl.durable = keep
+		fl.mu.Unlock()
+	}
+}
+
+// faultState snapshots the device's fault bookkeeping.
+func (d *Device) faultState() (*FaultPlan, *DeviceFaults, bool) {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	return d.plan, d.faults, d.poweredOff
+}
+
+// faultBeforeWrite consults the fault plane before appending p. It returns
+// the number of bytes to append (possibly a prefix), whether to trip after
+// appending, and ErrPowerFailed when the device is already off.
+func (d *Device) faultBeforeWrite(n int) (allow int, tripAfter bool, err error) {
+	plan, f, off := d.faultState()
+	if off {
+		return 0, false, ErrPowerFailed
+	}
+	if plan == nil || f == nil {
+		return n, false, nil
+	}
+	if plan.tripped.Load() {
+		// The group is mid power failure (another goroutine's trip is still
+		// freezing devices): this write is already too late to land.
+		return 0, false, ErrPowerFailed
+	}
+	if f.CrashAfterBytes > 0 {
+		prev := f.bytes.Add(int64(n)) - int64(n)
+		if prev >= f.CrashAfterBytes {
+			// Past the watermark: a concurrent op already carries the trip;
+			// this write is after the failure instant and must not land.
+			return 0, false, ErrPowerFailed
+		}
+		if prev+int64(n) >= f.CrashAfterBytes {
+			return int(f.CrashAfterBytes - prev), true, nil
+		}
+	}
+	if f.CrashAfterWrites > 0 {
+		count := f.writes.Add(1)
+		if count > f.CrashAfterWrites {
+			return 0, false, ErrPowerFailed
+		}
+		if count == f.CrashAfterWrites {
+			// Exactly the Nth write: it lands, then the lights go out.
+			return n, true, nil
+		}
+	}
+	return n, false, nil
+}
+
+// faultOnSync consults the fault plane at a sync: a powered-off device
+// fails the sync (durability must not advance); the Nth sync completes
+// durably and then trips the group.
+func (d *Device) faultOnSync() (tripAfter bool, err error) {
+	plan, f, off := d.faultState()
+	if off {
+		return false, ErrPowerFailed
+	}
+	if plan == nil || f == nil {
+		return false, nil
+	}
+	if plan.tripped.Load() {
+		// Mid power failure: the durability advance must not happen.
+		return false, ErrPowerFailed
+	}
+	if f.CrashAfterSyncs > 0 {
+		count := f.syncs.Add(1)
+		if count > f.CrashAfterSyncs {
+			// A concurrent op carries the trip; this sync is after the
+			// failure instant and its durability advance must not happen.
+			return false, ErrPowerFailed
+		}
+		if count == f.CrashAfterSyncs {
+			// Exactly the Nth sync: durable, then the lights go out.
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// faultOnRead consults the fault plane at a read call.
+func (d *Device) faultOnRead() error {
+	plan, f, off := d.faultState()
+	if off {
+		return ErrPowerFailed
+	}
+	if plan == nil || f == nil {
+		return nil
+	}
+	if plan.tripped.Load() {
+		return ErrPowerFailed
+	}
+	n := f.reads.Add(1)
+	if f.CrashAfterReads > 0 && n >= f.CrashAfterReads {
+		// Reads never make anything durable, so every read at or past the
+		// threshold may simply fail (the first one carries the trip).
+		plan.trip(d.name, "read")
+		return ErrPowerFailed
+	}
+	if f.ReadErrAfterReads > 0 && n >= f.ReadErrAfterReads && f.readErrFired.CompareAndSwap(false, true) {
+		return ErrInjectedRead
+	}
+	return nil
+}

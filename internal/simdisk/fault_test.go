@@ -1,0 +1,288 @@
+package simdisk
+
+import (
+	"errors"
+	"testing"
+)
+
+func writeSynced(t *testing.T, w *Writer, b []byte) {
+	t.Helper()
+	if _, err := w.Write(b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+func contents(t *testing.T, d *Device, name string) []byte {
+	t.Helper()
+	r, err := d.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	b, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return b
+}
+
+func TestFaultCrashAfterWrites(t *testing.T) {
+	d := New("a", Unlimited())
+	var trippedDev, trippedOp string
+	plan := &FaultPlan{
+		Devs:   map[string]*DeviceFaults{"a": {CrashAfterWrites: 3}},
+		OnTrip: func(dev, op string) { trippedDev, trippedOp = dev, op },
+	}
+	w := d.Create("f")
+	writeSynced(t, w, []byte("one-")) // write 0 before arming: not counted
+
+	plan.Arm(d)
+	writeSynced(t, w, []byte("two-"))   // counted write 1
+	writeSynced(t, w, []byte("three-")) // counted write 2
+	if plan.Tripped() {
+		t.Fatal("tripped before the armed write count")
+	}
+	if _, err := w.Write([]byte("four-")); err != nil { // counted write 3: trips after landing
+		t.Fatalf("tripping write returned %v", err)
+	}
+	if !plan.Tripped() || trippedDev != "a" || trippedOp != "write" {
+		t.Fatalf("trip state: tripped=%v dev=%q op=%q", plan.Tripped(), trippedDev, trippedOp)
+	}
+	// Post-trip operations fail and nothing more lands.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("post-trip write err = %v, want ErrPowerFailed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("post-trip sync err = %v, want ErrPowerFailed", err)
+	}
+	if _, err := d.Open("f"); err != nil {
+		t.Fatalf("open after trip: %v", err)
+	}
+	r, _ := d.Open("f")
+	if _, err := r.ReadAll(); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("post-trip read err = %v, want ErrPowerFailed", err)
+	}
+	plan.Disarm()
+	// The tripping write was unsynced and no torn tail was armed: clean
+	// truncation to the durable watermark.
+	if got := string(contents(t, d, "f")); got != "one-two-three-" {
+		t.Fatalf("persisted contents %q, want durable prefix only", got)
+	}
+	// Crash after the fact must not change the persisted image.
+	d.Crash()
+	if got := string(contents(t, d, "f")); got != "one-two-three-" {
+		t.Fatalf("contents after extra Crash: %q", got)
+	}
+}
+
+func TestFaultCrashAfterBytesSplitsWrite(t *testing.T) {
+	d := New("a", Unlimited())
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{"a": {
+		CrashAfterBytes: 10,
+		TornTailBytes:   1 << 20, // retain the whole unsynced tail
+	}}}
+	plan.Arm(d)
+	w := d.Create("f")
+	if _, err := w.Write([]byte("01234567")); err != nil { // 8 bytes, below watermark
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("abcdef")) // crosses at 10: only "ab" lands
+	if !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("tripping write err = %v, want ErrPowerFailed", err)
+	}
+	if n != 2 {
+		t.Fatalf("tripping write landed %d bytes, want 2", n)
+	}
+	plan.Disarm()
+	if got := string(contents(t, d, "f")); got != "01234567ab" {
+		t.Fatalf("persisted %q, want torn 10-byte prefix", got)
+	}
+}
+
+func TestFaultTornTailAndSkew(t *testing.T) {
+	a, b := New("a", Unlimited()), New("b", Unlimited())
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{
+		"a": {CrashAfterSyncs: 1, TornTailBytes: 3, CorruptTornTail: true},
+		// b has no entry: clean truncation at its own watermark.
+	}}
+	wb := b.Create("g")
+	writeSynced(t, wb, []byte("durable-b"))
+	wb.Write([]byte("lost-b"))
+
+	plan.Arm(a, b)
+	wa := a.Create("f")
+	writeSynced(t, wa, []byte("durable-a")) // sync 1 completes, then trips the group
+	wa2 := a.Create("f2")                   // device already off: detached
+	if err := wa2.Sync(); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("sync on powered-off device: %v", err)
+	}
+	if !plan.Tripped() {
+		t.Fatal("sync trigger did not trip")
+	}
+	// Group semantics: b is off too, at its own watermark.
+	if _, err := b.Create("h").Write([]byte("x")); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("write on group member after trip: %v", err)
+	}
+	plan.Disarm()
+	if got := string(contents(t, b, "g")); got != "durable-b" {
+		t.Fatalf("device b persisted %q, want clean durable prefix", got)
+	}
+	if got := string(contents(t, a, "f")); got != "durable-a" {
+		t.Fatalf("device a persisted %q", got)
+	}
+
+	// Torn retention: a second plan with an unsynced tail on a.
+	plan2 := &FaultPlan{Devs: map[string]*DeviceFaults{
+		"a": {CrashAfterWrites: 2, TornTailBytes: 3, CorruptTornTail: true},
+	}}
+	plan2.Arm(a)
+	w := d0(a, "torn")
+	writeSynced(t, w, []byte("base."))
+	w.Write([]byte("TAIL")) // write 2: lands fully, then trips
+	plan2.Disarm()
+	got := contents(t, a, "torn")
+	if string(got[:5]) != "base." || len(got) != 8 {
+		t.Fatalf("torn file = %q (len %d), want 5 durable + 3 torn bytes", got, len(got))
+	}
+	if got[7] != 'I'^0xFF { // last retained torn byte bit-flipped
+		t.Fatalf("torn byte not corrupted: % x", got[5:])
+	}
+	// The torn tail is now the persisted medium content: Crash keeps it.
+	a.Crash()
+	if g2 := contents(t, a, "torn"); len(g2) != 8 {
+		t.Fatalf("Crash truncated the torn tail: %q", g2)
+	}
+}
+
+// d0 is a tiny helper so the test reads as a narrative.
+func d0(d *Device, name string) *Writer { return d.Create(name) }
+
+func TestFaultInjectedReadIsOneShot(t *testing.T) {
+	d := New("a", Unlimited())
+	w := d.Create("f")
+	writeSynced(t, w, []byte("payload"))
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{"a": {ReadErrAfterReads: 2}}}
+	plan.Arm(d)
+
+	r, _ := d.Open("f")
+	if _, err := r.ReadAll(); err != nil { // read 1: fine
+		t.Fatalf("read 1: %v", err)
+	}
+	r2, _ := d.Open("f")
+	if _, err := r2.ReadAll(); !errors.Is(err, ErrInjectedRead) { // read 2: injected
+		t.Fatalf("read 2 err = %v, want ErrInjectedRead", err)
+	}
+	r3, _ := d.Open("f")
+	if b, err := r3.ReadAll(); err != nil || string(b) != "payload" { // retry succeeds
+		t.Fatalf("read 3 = %q, %v", b, err)
+	}
+	if plan.Tripped() {
+		t.Fatal("transient read fault must not power-fail")
+	}
+	plan.Disarm()
+}
+
+func TestFaultCrashAfterReadsTrips(t *testing.T) {
+	d := New("a", Unlimited())
+	w := d.Create("f")
+	writeSynced(t, w, []byte("payload"))
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{"a": {CrashAfterReads: 1}}}
+	plan.Arm(d)
+	r, _ := d.Open("f")
+	if _, err := r.ReadAll(); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("read err = %v, want ErrPowerFailed", err)
+	}
+	if !plan.Tripped() {
+		t.Fatal("read trigger did not trip")
+	}
+	plan.Disarm()
+	if got := string(contents(t, d, "f")); got != "payload" {
+		t.Fatalf("durable contents %q", got)
+	}
+}
+
+func TestFaultCreateRemoveGuards(t *testing.T) {
+	d := New("a", Unlimited())
+	w := d.Create("keep")
+	writeSynced(t, w, []byte("precious"))
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{"a": {CrashAfterSyncs: 1}}}
+	plan.Arm(d)
+	d.Create("x").Sync() // sync 1: trips
+
+	// A powered-off Create must not truncate the persisted file, and Remove
+	// must not unlink it.
+	d.Create("keep")
+	if err := d.Remove("keep"); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("Remove on powered-off device: %v", err)
+	}
+	if err := d.Rename("keep", "gone"); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("Rename on powered-off device: %v", err)
+	}
+	plan.Disarm()
+	if got := string(contents(t, d, "keep")); got != "precious" {
+		t.Fatalf("file damaged by powered-off mutations: %q", got)
+	}
+}
+
+func TestAppendPreservesDurablePrefix(t *testing.T) {
+	d := New("a", Unlimited())
+	w := d.Create("f")
+	writeSynced(t, w, []byte("gen1|"))
+	// A second incarnation appends without truncating.
+	w2 := d.Append("f")
+	w2.Write([]byte("gen2-unsynced"))
+	d.Crash()
+	if got := string(contents(t, d, "f")); got != "gen1|" {
+		t.Fatalf("after crash: %q, want the synced prefix", got)
+	}
+	w3 := d.Append("f")
+	writeSynced(t, w3, []byte("gen2|"))
+	d.Crash()
+	if got := string(contents(t, d, "f")); got != "gen1|gen2|" {
+		t.Fatalf("after synced append + crash: %q", got)
+	}
+	// Append creates missing files.
+	w4 := d.Append("fresh")
+	writeSynced(t, w4, []byte("new"))
+	if got := string(contents(t, d, "fresh")); got != "new" {
+		t.Fatalf("append-created file: %q", got)
+	}
+}
+
+func TestRenameAtomicPublish(t *testing.T) {
+	d := New("a", Unlimited())
+	orig := d.Create("file")
+	writeSynced(t, orig, []byte("old-contents"))
+	side := d.Create("side~file")
+	writeSynced(t, side, []byte("new-contents"))
+	if err := d.Rename("side~file", "file"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := string(contents(t, d, "file")); got != "new-contents" {
+		t.Fatalf("renamed file: %q", got)
+	}
+	if _, err := d.Open("side~file"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("sidecar still present: %v", err)
+	}
+	if err := d.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func TestFaultPlanString(t *testing.T) {
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{
+		"ssd1": {CrashAfterWrites: 7, TornTailBytes: 512, CorruptTornTail: true},
+		"ssd0": {ReadErrAfterReads: 3},
+	}}
+	got := plan.String()
+	want := "ssd0{readErrAfterReads=3} ssd1{crashAfterWrites=7,tornTailBytes=512,corruptTornTail}"
+	if got != want {
+		t.Fatalf("plan string:\n got %q\nwant %q", got, want)
+	}
+	if (&FaultPlan{}).String() != "clean" {
+		t.Fatal("empty plan should render as clean")
+	}
+}

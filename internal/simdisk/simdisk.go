@@ -69,6 +69,13 @@ type Device struct {
 	mu    sync.Mutex // guards files
 	files map[string]*file
 
+	// fmu guards the armed fault plane (see fault.go). A nil plan means no
+	// faults are armed and the checks reduce to one mutex acquisition.
+	fmu        sync.Mutex
+	plan       *FaultPlan
+	faults     *DeviceFaults
+	poweredOff bool
+
 	bytesWritten atomic.Int64
 	bytesRead    atomic.Int64
 	syncs        atomic.Int64
@@ -171,12 +178,57 @@ func (d *Device) getFile(name string) (*file, bool) {
 }
 
 // Create creates (or truncates) a named file and returns a writer for it.
+// On a power-failed device the truncation does not happen: the writer is
+// detached (its bytes go nowhere durable and Sync fails), so a crashed
+// incarnation racing its own death cannot destroy persisted files.
 func (d *Device) Create(name string) *Writer {
+	if _, _, off := d.faultState(); off {
+		return &Writer{dev: d, f: &file{}}
+	}
 	d.mu.Lock()
 	f := &file{}
 	d.files[name] = f
 	d.mu.Unlock()
 	return &Writer{dev: d, f: f}
+}
+
+// Append opens the named file for appending, creating it when missing. The
+// existing durable watermark is preserved — only newly appended bytes are
+// at risk until the next Sync. Like Create, it returns a detached writer on
+// a power-failed device.
+func (d *Device) Append(name string) *Writer {
+	if _, _, off := d.faultState(); off {
+		return &Writer{dev: d, f: &file{}}
+	}
+	d.mu.Lock()
+	f, ok := d.files[name]
+	if !ok {
+		f = &file{}
+		d.files[name] = f
+	}
+	d.mu.Unlock()
+	return &Writer{dev: d, f: f}
+}
+
+// Rename atomically replaces newname with oldname's file — the model is a
+// journaled-metadata filesystem where rename is the atomic, durable publish
+// step (crash-safe file rewrites sync a sidecar, then Rename it over the
+// original). Only the name mapping is durable: callers must Sync the
+// sidecar's contents before renaming, exactly as on a real FS, or the
+// published file still loses its unsynced bytes at the next crash.
+func (d *Device) Rename(oldname, newname string) error {
+	if _, _, off := d.faultState(); off {
+		return ErrPowerFailed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldname)
+	}
+	delete(d.files, oldname)
+	d.files[newname] = f
+	return nil
 }
 
 // ErrNotExist is returned when opening or removing a missing file.
@@ -193,8 +245,12 @@ func (d *Device) Open(name string) (*Reader, error) {
 	return &Reader{dev: d, f: f}, nil
 }
 
-// Remove deletes a file.
+// Remove deletes a file. Like all mutations it fails on a power-failed
+// device, so a dying incarnation cannot unlink persisted files.
 func (d *Device) Remove(name string) error {
+	if _, _, off := d.faultState(); off {
+		return ErrPowerFailed
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.files[name]; !ok {
@@ -250,24 +306,56 @@ type Writer struct {
 }
 
 // Write appends p to the file. The caller is charged the modeled transfer
-// time. It never fails (the device is in-memory); the error is always nil
-// and present only to satisfy io.Writer.
+// time. Without an armed fault plan it never fails (the device is
+// in-memory); with one, a write to a power-failed device is dropped with
+// ErrPowerFailed, and the tripping write of a byte-watermark fault appends
+// only its prefix up to the watermark before the group fails.
 func (w *Writer) Write(p []byte) (int, error) {
+	allow, tripAfter, err := w.dev.faultBeforeWrite(len(p))
+	if err != nil {
+		return 0, err
+	}
 	w.f.mu.Lock()
-	w.f.data = append(w.f.data, p...)
+	w.f.data = append(w.f.data, p[:allow]...)
 	w.f.mu.Unlock()
-	w.dev.bytesWritten.Add(int64(len(p)))
-	w.dev.occupy(transferTime(int64(len(p)), w.dev.cfg.WriteBandwidth))
+	w.dev.bytesWritten.Add(int64(allow))
+	w.dev.occupy(transferTime(int64(allow), w.dev.cfg.WriteBandwidth))
+	if tripAfter {
+		w.dev.fmu.Lock()
+		plan := w.dev.plan
+		w.dev.fmu.Unlock()
+		if plan != nil {
+			plan.trip(w.dev.name, "write")
+		}
+		if allow < len(p) {
+			return allow, ErrPowerFailed
+		}
+	}
 	return len(p), nil
 }
 
 // Sync makes all bytes written so far durable, charging the fsync latency.
+// On a power-failed device it fails with ErrPowerFailed and the durable
+// watermark does NOT advance — durability-sensitive callers (group commit)
+// must check this error before acknowledging.
 func (w *Writer) Sync() error {
+	tripAfter, err := w.dev.faultOnSync()
+	if err != nil {
+		return err
+	}
 	w.f.mu.Lock()
 	w.f.durable = len(w.f.data)
 	w.f.mu.Unlock()
 	w.dev.syncs.Add(1)
 	w.dev.occupy(w.dev.cfg.SyncLatency)
+	if tripAfter {
+		w.dev.fmu.Lock()
+		plan := w.dev.plan
+		w.dev.fmu.Unlock()
+		if plan != nil {
+			plan.trip(w.dev.name, "sync")
+		}
+	}
 	return nil
 }
 
@@ -285,8 +373,13 @@ type Reader struct {
 	off int
 }
 
-// Read implements io.Reader over the file contents.
+// Read implements io.Reader over the file contents. An armed fault plan
+// can fail it: transiently (ErrInjectedRead, one-shot) or terminally
+// (ErrPowerFailed after a read-triggered or earlier power failure).
 func (r *Reader) Read(p []byte) (int, error) {
+	if err := r.dev.faultOnRead(); err != nil {
+		return 0, err
+	}
 	r.f.mu.Lock()
 	n := copy(p, r.f.data[r.off:])
 	r.off += n
@@ -300,7 +393,11 @@ func (r *Reader) Read(p []byte) (int, error) {
 }
 
 // ReadAll returns the whole file, charging the modeled transfer time once.
+// It consults the fault plane like Read.
 func (r *Reader) ReadAll() ([]byte, error) {
+	if err := r.dev.faultOnRead(); err != nil {
+		return nil, err
+	}
 	r.f.mu.Lock()
 	out := append([]byte(nil), r.f.data[r.off:]...)
 	r.off = len(r.f.data)

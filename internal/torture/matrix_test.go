@@ -1,0 +1,37 @@
+package torture
+
+import (
+	"testing"
+
+	"pacman"
+)
+
+// TestRunMatrix sweeps the three logging kinds over a few seeds at small
+// scale — the package-level version of the root TestTortureShort, kept here
+// so torture failures localize to this package first.
+func TestRunMatrix(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind pacman.LogKind
+	}{
+		{"CL", pacman.CommandLogging},
+		{"PL", pacman.PhysicalLogging},
+		{"LL", pacman.LogicalLogging},
+	}
+	for _, k := range kinds {
+		for _, seed := range []int64{7, 1234} {
+			k, seed := k, seed
+			t.Run(k.name, func(t *testing.T) {
+				st, err := Run(Config{
+					Seed: seed, Cycles: 3, TxnsPerCycle: 150, Logging: k.kind,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Acked == 0 {
+					t.Fatalf("no durable acks: %s", st)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package torture
+
+import (
+	"fmt"
+
+	"pacman"
+)
+
+// The durability/atomicity oracle.
+//
+// Every transaction the torture driver submits is journaled by how its
+// durable-commit Future resolved:
+//
+//   - acked: resolved nil — the system PROMISED durability. Its effects must
+//     be present after every later recovery, exactly once.
+//   - maybe: resolved ErrCrashed/ErrClosed — executed, but the crash beat
+//     the acknowledgment. Atomicity still binds it: its effects must be
+//     fully present or fully absent, never partial, and whichever way the
+//     first post-crash recovery lands must stay that way forever (a dropped
+//     ghost must never resurrect).
+//   - none: rejected before execution (closed frontend) or rolled back
+//     (explicit abort) — no effects, ever.
+//
+// Two read-back checks enforce this against the recovered state:
+//
+//  1. Balance conservation (Smallbank): every generated amount is an
+//     integer-valued float, so expected totals are exact. Acked txns
+//     contribute a known delta interval ([lo,hi] differs only for
+//     WriteCheck, whose overdraft penalty depends on state); maybe txns
+//     widen the interval by min(lo,0)/max(hi,0). The recovered
+//     SAVINGS+CHECKING total must land inside the interval.
+//  2. Ledger stamps (all workloads): TortureStamp writes the SAME value to
+//     both rows of a never-reused ledger pair in one transaction. Acked →
+//     both rows carry the value. Maybe → both carry it or both still carry
+//     the pair's previous persisted value. One of each is a torn (partial)
+//     transaction — the atomicity violation recovery must never produce.
+//
+// Plus the structural invariants of recovery.Result: the recovered pepoch
+// covers every acked epoch, the resume epoch clears the recovered
+// high-water mark, checkpoint ids never regress, and the replayed entry
+// count accounts for every acked logging transaction (log batches are
+// never truncated in these runs).
+
+// stamp status values.
+const (
+	stampUnused = iota
+	stampAcked  // durability promised: value must read back
+	stampMaybe  // crash beat the ack: all-or-nothing, then frozen
+)
+
+type stampState struct {
+	val    int64
+	known  int64 // last persisted value the pair is known to hold
+	status int
+}
+
+// journal accumulates one client's outcomes for one cycle; clients write
+// their own journal race-free and the driver merges them after the crash.
+type journal struct {
+	ackLo, ackHi     int64
+	maybeLo, maybeHi int64
+	maxAckedEpoch    uint32
+	acked            int64
+	ackedLogged      int64
+	maybe            int64
+	rejected         int64
+	aborted          int64
+	stampsAcked      []stampRec
+	stampsMaybe      []stampRec
+	violations       []string
+}
+
+type stampRec struct {
+	pair int
+	val  int64
+}
+
+// oracle is the cross-cycle verification state.
+type oracle struct {
+	workload string
+	t0       int64 // initial SAVINGS+CHECKING total (smallbank)
+
+	ackLo, ackHi     int64 // exact delta bounds from acked txns
+	maybeLo, maybeHi int64 // accumulated slack from unresolved maybes
+
+	maxAckedEpoch uint32
+	ackedLogged   int64
+	lastCkptID    uint32
+
+	stamps []stampState
+}
+
+func newOracle(workload string, t0 int64, pairs int) *oracle {
+	return &oracle{workload: workload, t0: t0, stamps: make([]stampState, pairs)}
+}
+
+// merge folds one client journal into the oracle after a crash.
+func (o *oracle) merge(j *journal) {
+	o.ackLo += j.ackLo
+	o.ackHi += j.ackHi
+	o.maybeLo += j.maybeLo
+	o.maybeHi += j.maybeHi
+	if j.maxAckedEpoch > o.maxAckedEpoch {
+		o.maxAckedEpoch = j.maxAckedEpoch
+	}
+	o.ackedLogged += j.ackedLogged
+	for _, s := range j.stampsAcked {
+		o.stamps[s.pair] = stampState{val: s.val, known: o.stamps[s.pair].known, status: stampAcked}
+	}
+	for _, s := range j.stampsMaybe {
+		o.stamps[s.pair] = stampState{val: s.val, known: o.stamps[s.pair].known, status: stampMaybe}
+	}
+}
+
+// verify checks the oracle against a freshly recovered, started instance.
+// It returns every violation found (empty means the recovery upheld all
+// guarantees) and resolves outstanding maybes against what actually
+// persisted, so later cycles hold this recovery to its own outcome.
+func (o *oracle) verify(db *pacman.DB, res *pacman.RecoveryResult) []string {
+	var v []string
+
+	// Structural invariants of the recovery result.
+	if res.Pepoch < o.maxAckedEpoch {
+		v = append(v, fmt.Sprintf("recovered pepoch %d below an acknowledged commit epoch %d: durable acks were lost",
+			res.Pepoch, o.maxAckedEpoch))
+	}
+	if res.ResumeEpoch <= res.Pepoch {
+		v = append(v, fmt.Sprintf("resume epoch %d does not clear recovered pepoch %d", res.ResumeEpoch, res.Pepoch))
+	}
+	if res.CheckpointID < o.lastCkptID {
+		v = append(v, fmt.Sprintf("checkpoint id regressed: recovered %d after %d", res.CheckpointID, o.lastCkptID))
+	}
+	o.lastCkptID = res.CheckpointID
+	if total := int64(res.Entries) + int64(res.Filtered); total < o.ackedLogged {
+		v = append(v, fmt.Sprintf("replayed+filtered %d entries but %d logging txns were acknowledged durable",
+			total, o.ackedLogged))
+	}
+
+	// Balance conservation (exact integer arithmetic).
+	if o.workload == WorkloadSmallbank {
+		total := balanceTotal(db)
+		lo := o.t0 + o.ackLo + o.maybeLo
+		hi := o.t0 + o.ackHi + o.maybeHi
+		if total < lo || total > hi {
+			v = append(v, fmt.Sprintf("balance conservation: SAVINGS+CHECKING total %d outside [%d, %d] (t0 %d, acked [%+d,%+d], maybe slack [%+d,%+d])",
+				total, lo, hi, o.t0, o.ackLo, o.ackHi, o.maybeLo, o.maybeHi))
+		}
+	}
+
+	// Ledger read-back: presence for acked pairs, atomicity for all.
+	ledger := readLedger(db)
+	for i := range o.stamps {
+		s := &o.stamps[i]
+		if s.status == stampUnused {
+			continue
+		}
+		a, b := ledger[pairKeyA(i)], ledger[pairKeyB(i)]
+		if a != b {
+			v = append(v, fmt.Sprintf("ledger pair %d TORN: rows hold %d / %d (stamp value %d, %s) — partial transaction visible",
+				i, a, b, s.val, stampStatusName(s.status)))
+			continue
+		}
+		switch s.status {
+		case stampAcked:
+			if a != s.val {
+				v = append(v, fmt.Sprintf("ledger pair %d: acknowledged stamp %d missing, rows hold %d — durable ack lost",
+					i, s.val, a))
+			}
+		case stampMaybe:
+			if a != s.val && a != s.known {
+				v = append(v, fmt.Sprintf("ledger pair %d: unacknowledged stamp read back %d, expected %d (applied) or %d (absent)",
+					i, a, s.val, s.known))
+				continue
+			}
+			// The first post-crash recovery decides — applied or absent —
+			// and later recoveries must agree: freeze the pair at whatever
+			// persisted by holding it to the acked contract from here on.
+			s.known, s.val, s.status = a, a, stampAcked
+		}
+	}
+	return v
+}
+
+func stampStatusName(s int) string {
+	switch s {
+	case stampAcked:
+		return "acked"
+	case stampMaybe:
+		return "maybe"
+	}
+	return "unused"
+}
+
+// pairKeyA/B map a ledger pair index to its two row keys (keys start at 1).
+func pairKeyA(i int) uint64 { return uint64(2*i + 1) }
+func pairKeyB(i int) uint64 { return uint64(2*i + 2) }
+
+// balanceTotal sums SAVINGS+CHECKING; amounts are integer-valued floats so
+// the sum is exact.
+func balanceTotal(db *pacman.DB) int64 {
+	var total int64
+	for _, name := range []string{"SAVINGS", "CHECKING"} {
+		db.Table(name).ScanIndex(0, ^uint64(0), func(r *pacman.Row) bool {
+			if d := r.LatestData(); d != nil {
+				total += int64(d[1].Float())
+			}
+			return true
+		})
+	}
+	return total
+}
+
+// readLedger reads every ledger row's current value by key.
+func readLedger(db *pacman.DB) map[uint64]int64 {
+	out := map[uint64]int64{}
+	db.Table(ledgerTable).ScanIndex(0, ^uint64(0), func(r *pacman.Row) bool {
+		if d := r.LatestData(); d != nil {
+			out[r.Key] = d[1].Int()
+		}
+		return true
+	})
+	return out
+}

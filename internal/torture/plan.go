@@ -1,0 +1,81 @@
+package torture
+
+import (
+	"math/rand"
+
+	"pacman/internal/simdisk"
+)
+
+// Fault-plan derivation: every plan is a pure function of the cycle's RNG,
+// so a run's entire fault schedule reproduces from the torture seed. The
+// plans deliberately skew small — thresholds low enough that most cycles
+// crash mid-flush, mid-checkpoint, or mid-recovery rather than timing out
+// on the transaction budget.
+
+// servePlan derives the fault plan armed while the instance serves traffic.
+// Roughly one cycle in five runs clean (crashing only on the budget
+// boundary, which still loses the unsynced tail); the rest trip on a
+// write/sync/byte watermark of one device, with independent torn-tail
+// behavior on every device so the group crash lands at skewed watermarks.
+func servePlan(rng *rand.Rand, devices []*simdisk.Device) *simdisk.FaultPlan {
+	if rng.Intn(5) == 0 {
+		return nil // clean-budget cycle
+	}
+	plan := &simdisk.FaultPlan{Devs: map[string]*simdisk.DeviceFaults{}}
+	for _, d := range devices {
+		df := &simdisk.DeviceFaults{}
+		if rng.Intn(2) == 0 {
+			df.TornTailBytes = int64(1 + rng.Intn(2048))
+			df.CorruptTornTail = rng.Intn(2) == 0
+		}
+		plan.Devs[d.Name()] = df
+	}
+	trigger := plan.Devs[devices[rng.Intn(len(devices))].Name()]
+	switch rng.Intn(3) {
+	case 0:
+		trigger.CrashAfterWrites = int64(1 + rng.Intn(60))
+	case 1:
+		trigger.CrashAfterSyncs = int64(1 + rng.Intn(30))
+	default:
+		trigger.CrashAfterBytes = int64(64 + rng.Intn(16<<10))
+	}
+	return plan
+}
+
+// recoveryPlan derives the fault plan armed while Restart runs, proving
+// recovery is re-entrant. Three flavors: a read-triggered power failure
+// (dies mid checkpoint restore or mid log reload), a write-triggered one
+// (dies mid tail repair or mid manifest rewrite), and a transient read
+// error (recovery fails cleanly without a crash; the retry must succeed).
+// force pins the read-triggered flavor, which trips on every recovery.
+func recoveryPlan(rng *rand.Rand, devices []*simdisk.Device, force bool) *simdisk.FaultPlan {
+	plan := &simdisk.FaultPlan{Devs: map[string]*simdisk.DeviceFaults{}}
+	for _, d := range devices {
+		df := &simdisk.DeviceFaults{}
+		if rng.Intn(2) == 0 {
+			df.TornTailBytes = int64(1 + rng.Intn(512))
+			df.CorruptTornTail = rng.Intn(2) == 0
+		}
+		plan.Devs[d.Name()] = df
+	}
+	trigger := plan.Devs[devices[rng.Intn(len(devices))].Name()]
+	mode := rng.Intn(3)
+	if force {
+		// Only the catalog-manifest read on device 0 is guaranteed to
+		// happen (a crash early enough leaves no pepoch marker, checkpoint,
+		// or batch file to read), so the forced flavor trips on the very
+		// first read — anything larger can outlast a bare first-cycle
+		// recovery and never fire.
+		plan.Devs[devices[0].Name()].CrashAfterReads = 1
+		return plan
+	}
+	switch mode {
+	case 0:
+		trigger.CrashAfterReads = int64(1 + rng.Intn(6))
+	case 1:
+		trigger.CrashAfterWrites = int64(1 + rng.Intn(4))
+	default:
+		trigger.ReadErrAfterReads = int64(1 + rng.Intn(6))
+	}
+	return plan
+}

@@ -1,0 +1,651 @@
+// Package torture is the crash-injection torture subsystem: it drives real
+// workloads through the public pacman lifecycle (Launch → serve → crash →
+// Restart → serve → crash → ...) under seeded fault plans that power-fail
+// the storage devices mid-flush, mid-checkpoint, mid-manifest, and mid-
+// Restart itself, and verifies after every recovery that the durability
+// and atomicity promises the system made actually held (see oracle.go).
+//
+// Everything derives from one RNG seed: the fault plans, the transaction
+// mix, and the crash cadence. A failing run reports its seed and the armed
+// fault plans, and rerunning with that seed re-arms the identical plans —
+// `pacman-bench -exp torture -seed <s>` is the reproduction command. (Plan
+// derivation is fully deterministic; the exact trip instant still depends
+// on goroutine scheduling, which is why the oracle checks properties that
+// must hold under every interleaving.)
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman"
+	"pacman/internal/proc"
+	"pacman/internal/simdisk"
+	"pacman/internal/tuple"
+	"pacman/internal/wal"
+	"pacman/internal/workload"
+)
+
+// Supported workloads.
+const (
+	WorkloadSmallbank = "smallbank"
+	WorkloadTPCC      = "tpcc"
+)
+
+// ledgerTable is the oracle's read-back table, appended to every workload's
+// blueprint. TortureStamp writes one value to both rows of a pair in a
+// single transaction; the oracle reads the pair back after recovery.
+const ledgerTable = "TORTURE_LEDGER"
+
+// Config tunes one torture run. The zero value of every field has a
+// working default; Seed 0 means seed 1.
+type Config struct {
+	// Seed drives every random choice of the run.
+	Seed int64
+	// Cycles is the number of crash→Restart→verify→serve cycles (default 4).
+	Cycles int
+	// Logging selects the durability scheme under test (default command
+	// logging; the recovery scheme is auto-derived by Restart).
+	Logging pacman.LogKind
+	// Workload is WorkloadSmallbank (default) or WorkloadTPCC. Smallbank
+	// adds the balance-conservation oracle; both carry the ledger oracle.
+	Workload string
+	// Clients/Workers size the frontend (defaults 4/4).
+	Clients, Workers int
+	// TxnsPerCycle bounds a cycle's submissions when no fault trips first
+	// (default 400).
+	TxnsPerCycle int
+	// Threads is the recovery parallelism (default 2).
+	Threads int
+	// CheckpointPct is the chance (percent) that a cycle takes a checkpoint
+	// in the middle of traffic — in the fault window, so crashes land mid-
+	// checkpoint too (default 50).
+	CheckpointPct int
+	// RecoveryCrashPct is the chance (percent) that a Restart runs under an
+	// armed fault plan and must be re-entered (default 40).
+	RecoveryCrashPct int
+	// ForceRecoveryCrash arms a read-triggered power failure on the first
+	// recovery unconditionally, guaranteeing the run exercises a crash
+	// *during* Restart (CI uses this).
+	ForceRecoveryCrash bool
+	// SBCustomers scales Smallbank (default 64, deliberately hot).
+	SBCustomers int
+	// Log, when set, receives per-cycle progress lines.
+	Log io.Writer
+	// Hook, when set, observes cycle stages ("crashed" before the recovery
+	// attempts with res nil, "recovered" after a successful Restart with
+	// res set). Debugging aid; the driver never depends on it.
+	Hook func(stage string, cycle int, devices []*simdisk.Device, res *pacman.RecoveryResult)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 4
+	}
+	if c.Logging == pacman.NoLogging {
+		c.Logging = pacman.CommandLogging
+	}
+	if c.Workload == "" {
+		c.Workload = WorkloadSmallbank
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.TxnsPerCycle <= 0 {
+		c.TxnsPerCycle = 400
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if c.CheckpointPct == 0 {
+		c.CheckpointPct = 50
+	}
+	if c.RecoveryCrashPct == 0 {
+		c.RecoveryCrashPct = 40
+	}
+	if c.SBCustomers <= 0 {
+		c.SBCustomers = 64
+	}
+	return c
+}
+
+// Stats reports what one torture run did — the denominator that makes a
+// green run meaningful.
+type Stats struct {
+	Cycles int
+	// Acked counts transactions acknowledged durable; AckedLogged excludes
+	// read-only ones. Maybe counts executions the crash beat to the ack.
+	Acked, AckedLogged, Maybe int64
+	// Rejected counts submissions refused by a closing frontend; Aborted
+	// counts explicit rollbacks.
+	Rejected, Aborted int64
+	// ServeTrips counts cycles whose fault plan power-failed the devices
+	// mid-traffic (the rest crashed on the budget boundary).
+	ServeTrips int
+	// RecoveryCrashes counts Restart attempts killed by an armed fault —
+	// each one re-entered recovery from the crashed state.
+	RecoveryCrashes int
+	// TransientReadFaults counts recoveries that failed on an injected read
+	// error and succeeded on retry.
+	TransientReadFaults int
+	// Checkpoints counts checkpoints that completed during serve phases.
+	Checkpoints int
+	// Stamps counts ledger pairs written (the per-txn read-back oracle).
+	Stamps int
+	// Replayed is the final recovery's entry count.
+	Replayed int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d acked=%d (logged %d) maybe=%d rejected=%d aborted=%d serveTrips=%d recoveryCrashes=%d transientReads=%d ckpts=%d stamps=%d replayed=%d",
+		s.Cycles, s.Acked, s.AckedLogged, s.Maybe, s.Rejected, s.Aborted,
+		s.ServeTrips, s.RecoveryCrashes, s.TransientReadFaults, s.Checkpoints, s.Stamps, s.Replayed)
+}
+
+// Violation is the oracle-failure error: it carries everything needed to
+// reproduce the run — the seed AND the run shape, because the fault-plan
+// stream consumes RNG draws per cycle and per injected recovery attempt,
+// so a different cycle count, budget, or force flag derives different
+// plans from the same seed.
+type Violation struct {
+	Seed   int64
+	Cycle  int
+	Cfg    Config
+	Plans  []string
+	Faults []string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("torture: ORACLE VIOLATION at seed %d, cycle %d (%s/%v):\n  - %s\nfault plans so far:\n  %s\nreproduce: pacman-bench -exp torture -seed %d -iters 1 -cycles %d -txns %d -workers %d -force=%t",
+		v.Seed, v.Cycle, v.Cfg.Workload, v.Cfg.Logging,
+		strings.Join(v.Faults, "\n  - "), strings.Join(v.Plans, "\n  "),
+		v.Seed, v.Cfg.Cycles, v.Cfg.TxnsPerCycle, v.Cfg.Workers, v.Cfg.ForceRecoveryCrash)
+}
+
+// Run executes one torture run and returns its stats; the error is a
+// *Violation when the oracle caught the system breaking a promise, or an
+// infrastructure error otherwise.
+func Run(cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := &Stats{}
+
+	h, err := newHarness(cfg)
+	if err != nil {
+		return st, err
+	}
+	db, err := pacman.Launch(h.bp, pacman.Options{
+		Logging:       cfg.Logging,
+		Devices:       2,
+		EpochInterval: time.Millisecond,
+		// The hot key space retries hard; a retry storm is load, not a bug.
+		MaxRetries: 1 << 20,
+	})
+	if err != nil {
+		return st, err
+	}
+	devices := db.Devices()
+
+	var planLog []string
+	logPlan := func(kind string, cycle int, p *simdisk.FaultPlan) {
+		planLog = append(planLog, fmt.Sprintf("cycle %d %s: %s", cycle, kind, p.String()))
+	}
+	violation := func(cycle int, faults []string) error {
+		return &Violation{Seed: cfg.Seed, Cycle: cycle, Cfg: cfg, Plans: planLog, Faults: faults}
+	}
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		st.Cycles = cycle + 1
+
+		// Serve phase: arm this cycle's plan, drive traffic until the plan
+		// trips or the budget runs out, then power-fail whatever is left.
+		plan := servePlan(rng, devices)
+		tripped := make(chan struct{})
+		if plan != nil {
+			plan.OnTrip = func(dev, op string) { close(tripped) }
+			logPlan("serve", cycle, plan)
+			plan.Arm(devices...)
+		} else {
+			logPlan("serve", cycle, nil)
+		}
+		takeCkpt := rng.Intn(100) < cfg.CheckpointPct
+		js := h.serve(cfg, db, cycle, tripped, takeCkpt, st) // crashes db
+		if plan != nil {
+			if plan.Tripped() {
+				st.ServeTrips++
+			}
+			plan.Disarm()
+		}
+		for _, j := range js {
+			if len(j.violations) > 0 {
+				return st, violation(cycle, j.violations)
+			}
+			h.oracle.merge(j)
+			st.Acked += j.acked
+			st.AckedLogged += j.ackedLogged
+			st.Maybe += j.maybe
+			st.Rejected += j.rejected
+			st.Aborted += j.aborted
+		}
+
+		if cfg.Hook != nil {
+			cfg.Hook("crashed", cycle, devices, nil)
+		}
+
+		// Recovery phase: Restart, possibly under an armed fault plan; an
+		// injected crash re-enters Restart from the crashed state. The last
+		// attempt always runs clean, so only a genuine bug can fail it.
+		const maxAttempts = 4
+		var res *pacman.RecoveryResult
+		for attempt := 0; ; attempt++ {
+			var rplan *simdisk.FaultPlan
+			inject := attempt < maxAttempts-1 &&
+				(rng.Intn(100) < cfg.RecoveryCrashPct || (cfg.ForceRecoveryCrash && cycle == 0 && attempt == 0))
+			if inject {
+				rplan = recoveryPlan(rng, devices, cfg.ForceRecoveryCrash && cycle == 0 && attempt == 0)
+				logPlan(fmt.Sprintf("recovery attempt %d", attempt), cycle, rplan)
+				rplan.Arm(devices...)
+			} else {
+				// Clean attempt: prove tail repair converges before Restart
+				// runs it for real (double repair is a no-op on round two).
+				pe, err := wal.ReadPepoch(devices[0])
+				if err != nil && !errors.Is(err, simdisk.ErrNotExist) {
+					return st, violation(cycle, []string{fmt.Sprintf("pepoch unreadable after crash: %v", err)})
+				}
+				if _, err := wal.RepairTail(devices, pe); err != nil {
+					return st, violation(cycle, []string{fmt.Sprintf("tail repair failed: %v", err)})
+				}
+				if st2, err := wal.RepairTail(devices, pe); err != nil || !st2.Zero() {
+					return st, violation(cycle, []string{fmt.Sprintf("tail repair did not converge: second pass %+v, err %v", st2, err)})
+				}
+			}
+
+			db2, r, err := pacman.Restart(devices, h.bp, pacman.RecoverConfig{
+				Threads: cfg.Threads,
+				Serve:   pacman.Options{MaxRetries: 1 << 20},
+			})
+			if rplan != nil {
+				// Close the race between Restart finishing and the armed
+				// plan tripping on the first post-restart flush: a tripped
+				// plan means the instance is dead no matter what Restart
+				// returned.
+				rplan.Disarm()
+				if rplan.Tripped() {
+					if err == nil {
+						db2.Crash()
+					}
+					for _, d := range devices {
+						d.Crash()
+					}
+					st.RecoveryCrashes++
+					h.logf(cfg, "cycle %d: recovery attempt %d crashed (re-entering)", cycle, attempt)
+					continue
+				}
+				if err != nil && errors.Is(err, simdisk.ErrInjectedRead) {
+					st.TransientReadFaults++
+					h.logf(cfg, "cycle %d: recovery attempt %d hit transient read fault (retrying)", cycle, attempt)
+					continue
+				}
+			}
+			if err != nil {
+				return st, violation(cycle, []string{fmt.Sprintf("Restart failed with no fault armed: %v", err)})
+			}
+			db, res = db2, r
+			break
+		}
+		st.Replayed = res.Entries
+		if cfg.Hook != nil {
+			cfg.Hook("recovered", cycle, devices, res)
+		}
+
+		// Verify the oracle against the recovered state.
+		if faults := h.oracle.verify(db, res); len(faults) > 0 {
+			return st, violation(cycle, faults)
+		}
+
+		// The restarted instance must serve immediately, with commit
+		// timestamps above the recovered high-water mark; the synchronous
+		// stamp also feeds the next cycle's read-back oracle.
+		if fault := h.proveServing(db, res, st); fault != "" {
+			return st, violation(cycle, []string{fault})
+		}
+		h.logf(cfg, "cycle %d: ok (pepoch %d, %d entries, ckpt %d)", cycle, res.Pepoch, res.Entries, res.CheckpointID)
+	}
+	db.Close()
+	return st, nil
+}
+
+// harness holds the per-run workload machinery.
+type harness struct {
+	bp     pacman.Blueprint
+	oracle *oracle
+	// gen generates one transaction; nil stamp-free fallback uses wkGen.
+	wk workload.Workload // tpcc generator (nil for smallbank)
+
+	ledgerPairs int
+	nextStamp   atomic.Int64
+	stampsUsed  atomic.Int64
+}
+
+func (h *harness) logf(cfg Config, format string, args ...any) {
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "torture[seed %d]: "+format+"\n", append([]any{cfg.Seed}, args...)...)
+	}
+}
+
+// stampProc is the ledger write procedure: both rows of a pair get the same
+// value in one transaction.
+func stampProc() *pacman.Procedure {
+	a, b, v := proc.Pm("a"), proc.Pm("b"), proc.Pm("v")
+	return &proc.Procedure{
+		Name:   "TortureStamp",
+		Params: []proc.ParamDef{proc.P("a"), proc.P("b"), proc.P("v")},
+		Body: []proc.Stmt{
+			proc.Read("ra", ledgerTable, a, "v"),
+			proc.Write(ledgerTable, a, proc.Set("v", v)),
+			proc.Read("rb", ledgerTable, b, "v"),
+			proc.Write(ledgerTable, b, proc.Set("v", v)),
+		},
+	}
+}
+
+// newHarness builds the blueprint (workload catalog + ledger + stamp proc)
+// and the oracle for the configured workload.
+func newHarness(cfg Config) (*harness, error) {
+	h := &harness{}
+	// Size the ledger so stamps never run out: ~1/8 of traffic stamps, plus
+	// one serving proof per cycle, with generous slack.
+	h.ledgerPairs = cfg.Cycles*(cfg.TxnsPerCycle/4+8) + 64
+
+	var spec workload.BlueprintSpec
+	switch cfg.Workload {
+	case WorkloadSmallbank:
+		sb := workload.NewSmallbank(workload.SmallbankConfig{Customers: cfg.SBCustomers, HotspotPct: 25})
+		spec = workload.Spec(sb)
+		// 2000 savings + 1000 checking per customer (DefaultSmallbank seed).
+		h.oracle = newOracle(WorkloadSmallbank, int64(cfg.SBCustomers)*3000, h.ledgerPairs)
+	case WorkloadTPCC:
+		tc := workload.DefaultTPCCConfig()
+		tc.Warehouses = 1
+		tc.DisableInserts = true
+		w := workload.NewTPCC(tc)
+		spec = workload.Spec(w)
+		h.wk = w
+		h.oracle = newOracle(WorkloadTPCC, 0, h.ledgerPairs)
+	default:
+		return nil, fmt.Errorf("torture: unknown workload %q", cfg.Workload)
+	}
+
+	ledger := tuple.MustSchema(ledgerTable,
+		tuple.Col("id", tuple.KindInt), tuple.Col("v", tuple.KindInt))
+	pairs := h.ledgerPairs
+	wkSeed := spec.Seed
+	h.bp = pacman.Blueprint{
+		Tables:     append(append([]*pacman.Schema(nil), spec.Tables...), ledger),
+		Procedures: append(append([]*pacman.Procedure(nil), spec.Procs...), stampProc()),
+		Seed: func(seed pacman.Seeder) {
+			if wkSeed != nil {
+				wkSeed(seed)
+			}
+			for k := uint64(1); k <= uint64(2*pairs); k++ {
+				seed(ledgerTable, k, pacman.Tuple{tuple.I(int64(k)), tuple.I(0)})
+			}
+		},
+	}
+	return h, nil
+}
+
+// takeStamp allocates a fresh ledger pair, or -1 when exhausted.
+func (h *harness) takeStamp() int {
+	i := int(h.nextStamp.Add(1) - 1)
+	if i >= h.ledgerPairs {
+		return -1
+	}
+	h.stampsUsed.Add(1)
+	return i
+}
+
+// pending is one in-flight submission with its oracle metadata.
+type pending struct {
+	fut      *pacman.Future
+	lo, hi   int64 // committed delta bounds on SAVINGS+CHECKING
+	logged   bool
+	mayAbort bool
+	stamp    int // ledger pair index, -1 if none
+	stampVal int64
+}
+
+// settle classifies one resolved future into the journal.
+func settle(j *journal, p pending) {
+	_, err := p.fut.Wait()
+	switch {
+	case err == nil:
+		j.acked++
+		j.ackLo += p.lo
+		j.ackHi += p.hi
+		if p.logged {
+			j.ackedLogged++
+			// Only write-bearing acks constrain the recovered pepoch: a
+			// read-only or zero-write commit resolves durable without
+			// needing log coverage of its epoch.
+			if e := p.fut.Epoch(); e > j.maxAckedEpoch {
+				j.maxAckedEpoch = e
+			}
+		}
+		if p.stamp >= 0 {
+			j.stampsAcked = append(j.stampsAcked, stampRec{pair: p.stamp, val: p.stampVal})
+		}
+	case errors.Is(err, pacman.ErrCrashed) || errors.Is(err, pacman.ErrClosed):
+		j.maybe++
+		if p.lo < 0 {
+			j.maybeLo += p.lo // effects maybe applied: the low bound widens
+		}
+		if p.hi > 0 {
+			j.maybeHi += p.hi
+		}
+		if p.stamp >= 0 {
+			j.stampsMaybe = append(j.stampsMaybe, stampRec{pair: p.stamp, val: p.stampVal})
+		}
+	case errors.Is(err, pacman.ErrFrontendClosed):
+		j.rejected++ // never executed: no effects, no slack
+	case p.mayAbort && errors.Is(err, proc.ErrAborted):
+		j.aborted++ // rolled back: no effects
+	default:
+		j.violations = append(j.violations,
+			fmt.Sprintf("transaction failed with unexpected error: %v", err))
+	}
+}
+
+// serve drives one cycle's traffic through a Frontend until the budget runs
+// out or the armed plan trips, optionally taking a mid-traffic checkpoint.
+// It returns after db.Crash()-able state is reached with every client
+// journal settled... the caller crashes the instance, which resolves every
+// outstanding future, and the clients drain on that.
+func (h *harness) serve(cfg Config, db *pacman.DB, cycle int, tripped <-chan struct{}, takeCkpt bool, st *Stats) []*journal {
+	fe := db.MustFrontend(pacman.FrontendConfig{Workers: cfg.Workers})
+	var budget atomic.Int64
+	budget.Store(int64(cfg.TxnsPerCycle))
+	var stop atomic.Bool
+	done := make(chan struct{})
+
+	const maxInFlight = 32
+	js := make([]*journal, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		j := &journal{}
+		js[c] = j
+		wg.Add(1)
+		go func(c int, j *journal) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(cfg.Seed ^ int64(cycle)*7919 ^ int64(c)*104729))
+			var window []pending
+			for !stop.Load() && budget.Add(-1) >= 0 {
+				p := h.generate(crng, fe)
+				window = append(window, p)
+				if len(window) >= maxInFlight {
+					settle(j, window[0])
+					window = window[1:]
+				}
+			}
+			for _, p := range window {
+				settle(j, p)
+			}
+		}(c, j)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// Mid-traffic checkpoint, inside the fault window.
+	if takeCkpt {
+		time.Sleep(time.Duration(1+cycle%3) * time.Millisecond)
+		if err := db.Checkpoint(); err == nil {
+			st.Checkpoints++
+		}
+	}
+
+	select {
+	case <-tripped:
+		// Power failed mid-traffic: crash now. Outstanding futures resolve
+		// ErrCrashed when the caller crashes the instance; unblock clients.
+		stop.Store(true)
+	case <-done:
+	}
+	stop.Store(true)
+	db.Crash()
+	<-done
+	fe.Close()
+	wg.Wait()
+	st.Stamps = int(h.stampsUsed.Load())
+	return js
+}
+
+// generate submits one transaction of the mix and returns it with oracle
+// metadata. Roughly 1/8 of submissions are ledger stamps; the rest are the
+// workload's own mix (with integer-valued amounts for smallbank, so the
+// conservation oracle is exact).
+func (h *harness) generate(rng *rand.Rand, fe *pacman.Frontend) pending {
+	if rng.Intn(8) == 0 {
+		if pair := h.takeStamp(); pair >= 0 {
+			val := 1 + rng.Int63n(1<<40)
+			fut := fe.Submit("TortureStamp", pacman.Args{
+				proc.A(tuple.I(int64(pairKeyA(pair)))),
+				proc.A(tuple.I(int64(pairKeyB(pair)))),
+				proc.A(tuple.I(val)),
+			})
+			return pending{fut: fut, logged: true, stamp: pair, stampVal: val}
+		}
+	}
+	if h.wk != nil { // TPC-C: native mix, ledger-only oracle
+		tx := h.wk.Generate(rng)
+		name := tx.Proc.Name()
+		return pending{
+			fut: fe.Submit(name, tx.Args),
+			// Only transactions guaranteed to install at least one write
+			// count toward the replayed-entry bound (Delivery, for one, can
+			// legally commit with nothing to deliver).
+			logged:   name == "NewOrder" || name == "Payment",
+			mayAbort: tx.MayAbort,
+			stamp:    -1,
+		}
+	}
+	return h.smallbankTxn(rng, fe)
+}
+
+// smallbankTxn generates one Smallbank transaction with integer amounts and
+// exact conservation deltas.
+func (h *harness) smallbankTxn(rng *rand.Rand, fe *pacman.Frontend) pending {
+	cust := func() int64 {
+		if rng.Intn(4) == 0 {
+			return 1 + rng.Int63n(4) // hot keys
+		}
+		return 1 + rng.Int63n(int64(h.sbCustomers()))
+	}
+	c1, c2 := cust(), cust()
+	// Self-transfers are not conserving under snapshot reads (the second
+	// read of the same row sees the pre-write value), so Amalgamate and
+	// SendPayment use distinct customers, as the Smallbank spec intends.
+	for c2 == c1 {
+		c2 = cust()
+	}
+	amt := 1 + rng.Int63n(99) // integer-valued: conservation is exact
+	fa := proc.A(tuple.F(float64(amt)))
+	p := pending{stamp: -1, logged: true}
+	switch rng.Intn(10) {
+	case 0, 1:
+		p.fut = fe.Submit("Amalgamate", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.I(c2))})
+	case 2, 3:
+		p.fut = fe.Submit("DepositChecking", pacman.Args{proc.A(tuple.I(c1)), fa})
+		p.lo, p.hi = amt, amt
+	case 4, 5:
+		p.fut = fe.Submit("SendPayment", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.I(c2)), fa})
+		// An underfunded SendPayment commits with ZERO writes and therefore
+		// produces no log record: it cannot count toward the replayed-entry
+		// lower bound (conservation still holds either way).
+		p.logged = false
+	case 6:
+		v := amt
+		if rng.Intn(3) == 0 {
+			v = -v
+		}
+		p.fut = fe.Submit("TransactSavings", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.F(float64(v)))})
+		p.lo, p.hi = v, v
+		p.mayAbort = true
+	case 7, 8:
+		p.fut = fe.Submit("WriteCheck", pacman.Args{proc.A(tuple.I(c1)), fa})
+		p.lo, p.hi = -amt-1, -amt // overdraft penalty is state-dependent
+	default:
+		p.fut = fe.Submit("Balance", pacman.Args{proc.A(tuple.I(c1))})
+		p.logged = false
+	}
+	return p
+}
+
+// sbCustomers returns the smallbank key space (the oracle's t0 encodes it).
+func (h *harness) sbCustomers() int {
+	return int(h.oracle.t0 / 3000)
+}
+
+// proveServing executes one synchronous durable stamp on the freshly
+// restarted instance: it must succeed, commit above the recovered pepoch,
+// and read back in the next cycle's verification.
+func (h *harness) proveServing(db *pacman.DB, res *pacman.RecoveryResult, st *Stats) string {
+	pair := h.takeStamp()
+	if pair < 0 {
+		return "torture harness bug: ledger exhausted"
+	}
+	fe := db.MustFrontend(pacman.FrontendConfig{Workers: 1})
+	defer fe.Close()
+	val := int64(1_000_000_000) + int64(pair)
+	ts, err := fe.Exec("TortureStamp", pacman.Args{
+		proc.A(tuple.I(int64(pairKeyA(pair)))),
+		proc.A(tuple.I(int64(pairKeyB(pair)))),
+		proc.A(tuple.I(val)),
+	})
+	if err != nil {
+		return fmt.Sprintf("restarted instance refused a durable commit: %v", err)
+	}
+	epoch := uint32(ts >> 32)
+	if epoch <= res.Pepoch {
+		return fmt.Sprintf("post-restart commit epoch %d not above recovered pepoch %d", epoch, res.Pepoch)
+	}
+	h.oracle.stamps[pair] = stampState{val: val, status: stampAcked}
+	if epoch > h.oracle.maxAckedEpoch {
+		h.oracle.maxAckedEpoch = epoch
+	}
+	h.oracle.ackedLogged++
+	st.Acked++
+	st.AckedLogged++
+	st.Stamps = int(h.stampsUsed.Load())
+	return ""
+}

@@ -80,6 +80,11 @@ type LogSet struct {
 
 	pepoch    atomic.Uint32
 	pepochDev *simdisk.Device
+	// peAppends counts marker records appended since the last compaction;
+	// every pepochCompactEvery appends the marker is rewritten to a single
+	// record (crash-safe sidecar + rename), bounding both the file and the
+	// scan recovery pays on it.
+	peAppends int
 
 	// peMu/peCond wake WaitForEpoch callers when the persistent epoch
 	// advances (broadcast from updatePepoch), replacing the former 100µs
@@ -103,6 +108,13 @@ type Logger struct {
 	wmu     sync.Mutex
 
 	persisted atomic.Uint32
+
+	// dead latches after a failed flush sync (the device power-failed):
+	// records the logger buffered after that point were never durable, so
+	// persisted must never advance again — an empty later flush jumping
+	// persisted past unsynced records would release them as durable and
+	// recovery would not replay them.
+	dead bool
 
 	// batch state
 	curBatch  uint32
@@ -312,12 +324,36 @@ func (s *LogSet) updatePepoch() {
 		}
 	}
 	if pe > s.pepoch.Load() {
-		w := s.pepochDev.Create(PepochFileName)
-		var buf [8]byte
-		binary.LittleEndian.PutUint32(buf[:4], pe)
-		binary.LittleEndian.PutUint32(buf[4:], pe^0xFFFFFFFF) // trivial check word
-		w.Write(buf[:])
-		w.Sync()
+		// The marker is an append-only sequence of 8-byte (pe, ^pe) records;
+		// readers take the last valid one, so a crash mid-append tears only
+		// the new record and the previous durable pepoch survives. (A
+		// create-truncate-rewrite here would have a window where a crash
+		// destroys the marker entirely, un-acknowledging every durable
+		// commit.) Every pepochCompactEvery appends the file is compacted
+		// back to one record through the same crash-safe sidecar+rename
+		// protocol tail repair uses, so it never grows without bound.
+		if s.peAppends >= pepochCompactEvery {
+			if err := writePepochMarker(s.pepochDev, pe); err != nil {
+				return
+			}
+			s.peAppends = 0
+		} else {
+			w := s.pepochDev.Append(PepochFileName)
+			var buf [8]byte
+			binary.LittleEndian.PutUint32(buf[:4], pe)
+			binary.LittleEndian.PutUint32(buf[4:], pe^0xFFFFFFFF) // trivial check word
+			if _, err := w.Write(buf[:]); err != nil {
+				return
+			}
+			if err := w.Sync(); err != nil {
+				// The advance never became durable: recovery would read the
+				// old pepoch, so releasing against the new one would
+				// acknowledge commits recovery will not replay. Keep
+				// releasing at the old durable cut.
+				return
+			}
+			s.peAppends++
+		}
 		s.pepoch.Store(pe)
 		// Wake WaitForEpoch parkers. The broadcast happens under peMu so a
 		// waiter that just checked the old pepoch is already parked (or
@@ -357,7 +393,53 @@ func (s *LogSet) updatePepoch() {
 	}
 }
 
-// ReadPepoch recovers the persistent epoch marker from a device.
+// pepochCompactEvery bounds the append-only marker: after this many
+// appended records the marker is rewritten to a single record (4 KiB of
+// appends between compactions), so neither the file nor recovery's scan of
+// it grows with uptime.
+const pepochCompactEvery = 512
+
+// scanPepochRecords walks the marker's 8-byte (pe, ^pe) records and
+// returns the byte length of the valid prefix and the last valid record's
+// epoch. It is the single definition of the marker format, shared by
+// ReadPepoch and tail repair — a second copy drifting is exactly how
+// misalignment bugs are born.
+func scanPepochRecords(b []byte) (valid int, pe uint32) {
+	for valid+8 <= len(b) {
+		v := binary.LittleEndian.Uint32(b[valid:])
+		if binary.LittleEndian.Uint32(b[valid+4:])^0xFFFFFFFF != v {
+			break // torn/corrupt record: everything before it is valid
+		}
+		pe = v
+		valid += 8
+	}
+	return valid, pe
+}
+
+// writePepochMarker rewrites the marker as a single record holding pe,
+// staged in a sidecar, synced, and atomically renamed — the crash-safe
+// compaction path. The sidecar uses the repair prefix so a crashed
+// compaction's leftovers are swept by the next RepairTail pass.
+func writePepochMarker(dev *simdisk.Device, pe uint32) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], pe)
+	binary.LittleEndian.PutUint32(buf[4:], pe^0xFFFFFFFF)
+	side := repairSidecarPrefix + PepochFileName
+	w := dev.Create(side)
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return dev.Rename(side, PepochFileName)
+}
+
+// ReadPepoch recovers the persistent epoch marker from a device: the last
+// valid record of the append-only marker file. A torn or corrupt tail —
+// a crash mid-append — falls back to the previous record; an existing but
+// empty file (created, never synced) reads as 0, matching a crash before
+// the first durable advance.
 func ReadPepoch(dev *simdisk.Device) (uint32, error) {
 	r, err := dev.Open(PepochFileName)
 	if err != nil {
@@ -367,13 +449,7 @@ func ReadPepoch(dev *simdisk.Device) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(b) < 8 {
-		return 0, fmt.Errorf("wal: pepoch.log truncated")
-	}
-	pe := binary.LittleEndian.Uint32(b)
-	if binary.LittleEndian.Uint32(b[4:])^0xFFFFFFFF != pe {
-		return 0, fmt.Errorf("wal: pepoch.log corrupt")
-	}
+	_, pe := scanPepochRecords(b)
 	return pe, nil
 }
 
@@ -394,8 +470,9 @@ func (lg *Logger) flush(safeEpoch uint32) {
 	}
 	lg.recs = recs
 	if len(recs) == 0 {
-		// Even with nothing to write, the epoch may have advanced.
-		if safeEpoch > lg.persisted.Load() {
+		// Even with nothing to write, the epoch may have advanced — but
+		// never past a failed sync: a dead logger's durability is frozen.
+		if !lg.dead && safeEpoch > lg.persisted.Load() {
 			lg.persisted.Store(safeEpoch)
 		}
 		return
@@ -423,9 +500,28 @@ func (lg *Logger) flush(safeEpoch uint32) {
 		lo = hi
 	}
 	if lg.set.cfg.Sync && lg.curWriter != nil {
-		lg.curWriter.Sync()
+		if err := lg.curWriter.Sync(); err != nil {
+			// Power failure (or injected fault): nothing this flush wrote
+			// is durable, and the records must NOT reach pending — a
+			// record flushed into an epoch the pepoch already covers would
+			// be released (acknowledged durable) by the very next release
+			// scan even though its bytes die with the crash. Fail the
+			// futures as crashed right here; persisted stays put, now and
+			// forever (see dead).
+			lg.dead = true
+			now := time.Now()
+			for _, c := range recs {
+				if c.Future != nil {
+					c.Future.Resolve(now, ErrCrashed)
+				}
+			}
+			if lg.set.cfg.OnRelease == nil {
+				txn.RecycleCommitted(recs)
+			}
+			return
+		}
 	}
-	if safeEpoch > lg.persisted.Load() {
+	if !lg.dead && safeEpoch > lg.persisted.Load() {
 		lg.persisted.Store(safeEpoch)
 	}
 

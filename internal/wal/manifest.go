@@ -187,13 +187,22 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// WriteCatalogManifest persists m (synced) to the device.
+// WriteCatalogManifest persists m to the device: staged in a sidecar,
+// synced, then atomically renamed into place. A restart rewrites the
+// manifest through this same path, so a crash mid-rewrite can never leave
+// the device without a readable manifest — either the old one or the new
+// one is in place, and a stale sidecar is harmlessly overwritten by the
+// next write.
 func WriteCatalogManifest(dev *simdisk.Device, m *CatalogManifest) error {
-	w := dev.Create(CatalogManifestName)
+	side := "staged~" + CatalogManifestName
+	w := dev.Create(side)
 	if _, err := w.Write(EncodeCatalogManifest(m)); err != nil {
 		return err
 	}
-	return w.Sync()
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return dev.Rename(side, CatalogManifestName)
 }
 
 // ReadCatalogManifest loads the manifest from the device; ErrNoManifest if

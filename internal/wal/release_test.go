@@ -6,6 +6,7 @@ package wal
 // durable pepoch marker is rewritten only when it advances.
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -171,4 +172,52 @@ func TestWaitForEpochSignaled(t *testing.T) {
 		t.Fatalf("pepoch = %d after wait returned", ls.PersistedEpoch())
 	}
 	ls.Close()
+}
+
+// TestFlushSyncFailureFailsRecords: a flush whose sync fails (the device
+// power-failed mid-group-commit) must fail its drained records' futures
+// with ErrCrashed instead of parking them in the pending set — a record
+// flushed into an epoch the pepoch already covers would otherwise be
+// released as durable on the next scan even though its bytes were never
+// synced and die with the crash.
+func TestFlushSyncFailureFailsRecords(t *testing.T) {
+	b, m := bankSetup(t)
+	dev := simdisk.New("d", simdisk.Unlimited())
+	ls := NewLogSet(m, Config{Kind: Command, Sync: true, FlushInterval: time.Hour}, []*simdisk.Device{dev})
+	w := m.NewWorker()
+	ls.AttachWorker(w)
+
+	fut := txn.NewFuture(time.Now())
+	if _, err := w.ExecuteFuture(fut, b.Deposit,
+		proc.Args{proc.A(tuple.I(1)), proc.A(tuple.I(5)), proc.A(tuple.I(1))}, false); err != nil {
+		t.Fatal(err)
+	}
+	w.Retire()
+	m.AdvanceEpoch()
+
+	// Power-fail the device mid-flush: the batch write lands (write 2,
+	// after the file header), its sync fails.
+	plan := &simdisk.FaultPlan{Devs: map[string]*simdisk.DeviceFaults{"d": {CrashAfterWrites: 2}}}
+	plan.Arm(dev)
+	lg := ls.loggers[0]
+	lg.flush(m.SafeEpoch())
+	plan.Disarm()
+
+	select {
+	case <-fut.Done():
+	default:
+		t.Fatal("future unresolved after failed-sync flush")
+	}
+	if _, err := fut.Wait(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("future resolved %v, want ErrCrashed", err)
+	}
+	lg.pendMu.Lock()
+	n := len(lg.pending)
+	lg.pendMu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d unsynced records parked in pending (would be released as durable)", n)
+	}
+	if !lg.dead {
+		t.Fatal("logger not latched dead after failed sync")
+	}
 }

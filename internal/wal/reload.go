@@ -156,10 +156,15 @@ func ReloadBatch(bf BatchFiles, pepoch uint32, ckptTS engine.TS, threads int) ([
 // covers (TS <= ckptTS). Both the batch-at-a-time ReloadBatch and the
 // streaming Reloader decode through here, so the two reload paths cannot
 // diverge.
+//
+// A file whose header is truncated or corrupt is treated as fully torn, not
+// as a fatal error: a power failure between batch-file creation and the
+// first sync legitimately persists an empty or partial header, and such a
+// file simply holds nothing replayable (RepairTail removes it).
 func decodeFile(data []byte, pepoch uint32, ckptTS engine.TS) (entries []*Entry, torn bool, dropped, filtered int, err error) {
 	kind, _, _, rest, err := decodeFileHeader(data)
 	if err != nil {
-		return nil, false, 0, 0, err
+		return nil, true, 0, 0, nil
 	}
 	for len(rest) > 0 {
 		e, n, err := decodeRecord(rest, kind)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 
 	"pacman/internal/engine"
@@ -13,6 +14,14 @@ type RepairStats struct {
 	// FilesRewritten counts batch files rewritten without their invalid
 	// suffix or ghost records.
 	FilesRewritten int
+	// FilesRemoved counts batch files dropped whole because nothing in them
+	// was replayable — the header itself was torn (a batch file created but
+	// never synced before the crash).
+	FilesRemoved int
+	// StaleSidecars counts leftover repair sidecars from an earlier repair
+	// pass that crashed before publishing; they are discarded (the original
+	// file is still intact — publication is atomic).
+	StaleSidecars int
 	// GhostRecords counts records dropped because their epoch exceeded the
 	// recovered persistent epoch: durably written by one logger while
 	// another lagged, so never covered by pepoch and never replayed.
@@ -21,9 +30,54 @@ type RepairStats struct {
 	TornBytes int64
 }
 
+// Zero reports whether the pass found nothing to do — a second RepairTail
+// at the same pepoch must always be Zero (repair converges).
+func (s RepairStats) Zero() bool {
+	return s == RepairStats{}
+}
+
+// repairSidecarPrefix names the sidecar a repair pass stages its rewrite
+// in. The prefix is deliberately outside the "log-" namespace so Discover
+// and repair scans never mistake a half-written sidecar for a batch file.
+const repairSidecarPrefix = "repair~"
+
+// repairPepochMarker truncates the pepoch marker to its longest valid
+// prefix of 8-byte records. A crash that tore the marker mid-append (a
+// partially persisted sector) leaves a misaligned fragment at the end;
+// ReadPepoch correctly ignores it, but a restarted incarnation APPENDS
+// after it — and every record behind a misaligned fragment is invisible to
+// the aligned scan, silently freezing the durable pepoch while the new
+// instance keeps acknowledging commits. The rewrite stages a sidecar and
+// renames, like batch-file repair.
+func repairPepochMarker(dev *simdisk.Device) (tornBytes int64, err error) {
+	r, err := dev.Open(PepochFileName)
+	if err != nil {
+		if errors.Is(err, simdisk.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	data, err := r.ReadAll()
+	if err != nil {
+		return 0, err
+	}
+	valid, pe := scanPepochRecords(data)
+	if valid == len(data) {
+		return 0, nil
+	}
+	// Rewriting to the single last record both drops the torn fragment and
+	// compacts a marker that grew over a long previous incarnation.
+	if err := writePepochMarker(dev, pe); err != nil {
+		return 0, err
+	}
+	return int64(len(data) - valid), nil
+}
+
 // RepairTail rewrites every log batch file so it contains exactly the
 // records recovery replayed: frames whose epoch is at or below pepoch, with
-// torn or corrupt trailing bytes removed.
+// torn or corrupt trailing bytes removed. Files whose header never became
+// durable (created but unsynced at the crash) hold nothing replayable and
+// are removed whole.
 //
 // A restarted instance must run this before logging again. Records beyond
 // pepoch are ghosts — recovery (correctly) filtered them against the crashed
@@ -32,9 +86,34 @@ type RepairStats struct {
 // and new batches must never be appended after a torn tail the decoder would
 // stop at. Kept frames are copied byte-exact (no re-encode), so a repaired
 // file replays identically.
+//
+// Repair is itself crash-safe and convergent: each rewrite is staged in a
+// "repair~" sidecar, synced, and atomically renamed over the original, so a
+// power failure at any point leaves either the untouched original (plus a
+// stale sidecar the next pass discards) or the fully repaired file. Running
+// RepairTail again after a completed pass finds nothing to do.
 func RepairTail(devices []*simdisk.Device, pepoch uint32) (RepairStats, error) {
 	var st RepairStats
 	for _, dev := range devices {
+		// Discard sidecars a crashed repair pass left behind; their
+		// originals are intact, and a torn sidecar is unusable anyway.
+		for _, name := range dev.List(repairSidecarPrefix) {
+			if err := dev.Remove(name); err != nil {
+				return st, err
+			}
+			st.StaleSidecars++
+		}
+		// The pepoch marker must be record-aligned before the restarted
+		// instance appends to it; a torn fragment would hide every record
+		// appended after it from ReadPepoch's aligned scan.
+		tornPe, err := repairPepochMarker(dev)
+		if err != nil {
+			return st, err
+		}
+		if tornPe > 0 {
+			st.FilesRewritten++
+			st.TornBytes += tornPe
+		}
 		for _, name := range dev.List("log-") {
 			r, err := dev.Open(name)
 			if err != nil {
@@ -44,18 +123,27 @@ func RepairTail(devices []*simdisk.Device, pepoch uint32) (RepairStats, error) {
 			if err != nil {
 				return st, err
 			}
-			kept, ghosts, tornBytes, err := scanValidFrames(data, pepoch)
-			if err != nil {
-				return st, err
+			kept, ghosts, tornBytes, headerTorn := scanValidFrames(data, pepoch)
+			if headerTorn {
+				if err := dev.Remove(name); err != nil {
+					return st, err
+				}
+				st.FilesRemoved++
+				st.TornBytes += int64(len(data))
+				continue
 			}
 			if ghosts == 0 && tornBytes == 0 {
 				continue
 			}
-			w := dev.Create(name)
+			side := repairSidecarPrefix + name
+			w := dev.Create(side)
 			if _, err := w.Write(kept); err != nil {
 				return st, err
 			}
 			if err := w.Sync(); err != nil {
+				return st, err
+			}
+			if err := dev.Rename(side, name); err != nil {
 				return st, err
 			}
 			st.FilesRewritten++
@@ -70,11 +158,13 @@ func RepairTail(devices []*simdisk.Device, pepoch uint32) (RepairStats, error) {
 // header plus the raw bytes of every frame with epoch <= pepoch, the number
 // of ghost frames dropped, and how many trailing bytes were torn/corrupt.
 // Frames are validated the same way decodeFile does (length + CRC), but the
-// payload is never decoded — only its leading TS word is read.
-func scanValidFrames(data []byte, pepoch uint32) (kept []byte, ghosts int, tornBytes int64, err error) {
+// payload is never decoded — only its leading TS word is read. A file whose
+// header is itself truncated or corrupt (created but never synced before the
+// crash) reports headerTorn: it holds nothing replayable.
+func scanValidFrames(data []byte, pepoch uint32) (kept []byte, ghosts int, tornBytes int64, headerTorn bool) {
 	_, _, _, rest, err := decodeFileHeader(data)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, true
 	}
 	kept = append(kept, data[:fileHeaderSize]...)
 	for len(rest) > 0 {
@@ -100,5 +190,5 @@ func scanValidFrames(data []byte, pepoch uint32) (kept []byte, ghosts int, tornB
 		}
 		rest = rest[8+plen:]
 	}
-	return kept, ghosts, tornBytes, nil
+	return kept, ghosts, tornBytes, false
 }

@@ -1,0 +1,312 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"pacman/internal/simdisk"
+	"pacman/internal/txn"
+)
+
+// commitRecords produces n committed bank records at the given epochs
+// (non-decreasing), for hand-crafting batch files.
+func commitRecords(t *testing.T, epochs ...uint32) []*txn.Committed {
+	t.Helper()
+	b, m := bankSetup(t)
+	w := m.NewWorker()
+	cur := uint32(1)
+	for i, e := range epochs {
+		for cur < e {
+			m.AdvanceEpoch()
+			cur++
+		}
+		mustExec(t, w, b, int64(1+i%10))
+	}
+	recs := w.Drain(^uint32(0))
+	if len(recs) != len(epochs) {
+		t.Fatalf("drained %d records, want %d", len(recs), len(epochs))
+	}
+	for i, c := range recs {
+		if c.Epoch != epochs[i] {
+			t.Fatalf("record %d at epoch %d, want %d", i, c.Epoch, epochs[i])
+		}
+	}
+	return recs
+}
+
+// frames encodes the records as one batch file image (header + frames).
+func frames(recs []*txn.Committed, loggerID int, batch uint32) []byte {
+	buf := appendFileHeader(nil, Command, loggerID, batch)
+	for _, c := range recs {
+		buf = encodeRecord(buf, Command, c)
+	}
+	return buf
+}
+
+func writeFile(t *testing.T, dev *simdisk.Device, name string, data []byte) {
+	t.Helper()
+	w := dev.Create(name)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairTailAdversarialShapes exercises the file shapes the fault plane
+// produces at a power failure, table-driven: torn partial-sector tails
+// (mid-frame cuts, corrupted CRCs), files whose header never became
+// durable, and ghost frames beyond the durable cut. Every case must repair
+// to a file that reloads cleanly, and a second pass must find nothing.
+func TestRepairTailAdversarialShapes(t *testing.T) {
+	recs := commitRecords(t, 1, 2, 5)
+	full := frames(recs, 0, 0)
+	valid2 := frames(recs[:2], 0, 0) // epochs 1,2 only
+
+	cases := []struct {
+		name string
+		data []byte
+		// pepoch is the durable cut repair runs at.
+		pepoch uint32
+		// wantEntries after repair when reloading with a wide-open pepoch:
+		// ghosts and torn bytes must be physically gone.
+		wantEntries int
+		wantRemoved bool
+	}{
+		{"clean file untouched", append([]byte(nil), valid2...), 2, 2, false},
+		{"torn mid-frame cut", append(append([]byte(nil), full...), full[fileHeaderSize:fileHeaderSize+11]...), 5, 3, false},
+		{"torn partial-sector garbage", append(append([]byte(nil), valid2...), 0xDE, 0xAD, 0xBE), 2, 2, false},
+		{"corrupt crc tail", func() []byte {
+			d := append([]byte(nil), full...)
+			d[len(d)-1] ^= 0xFF // last frame's payload no longer matches its CRC
+			return d
+		}(), 5, 2, false},
+		{"ghost frames beyond pepoch", append([]byte(nil), full...), 2, 2, false},
+		{"empty file (created, never synced)", nil, 5, 0, true},
+		{"torn header", full[:fileHeaderSize-3], 5, 0, true},
+		{"garbage header", []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, 5, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := simdisk.New("d", simdisk.Unlimited())
+			name := BatchFileName(0, 0)
+			writeFile(t, dev, name, tc.data)
+
+			// The shape must already reload without a hard error (recovery
+			// runs before repair), then repair must normalize it.
+			if _, _, err := ReloadAll([]*simdisk.Device{dev}, tc.pepoch, 1); err != nil {
+				t.Fatalf("pre-repair reload: %v", err)
+			}
+			st, err := RepairTail([]*simdisk.Device{dev}, tc.pepoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantRemoved {
+				if st.FilesRemoved != 1 {
+					t.Fatalf("stats = %+v, want the headerless file removed", st)
+				}
+				if names := dev.List("log-"); len(names) != 0 {
+					t.Fatalf("headerless file still present: %v", names)
+				}
+			} else {
+				entries, rs, err := ReloadAll([]*simdisk.Device{dev}, ^uint32(0), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rs.TornFiles != 0 {
+					t.Error("repaired file still torn")
+				}
+				if len(entries) != tc.wantEntries {
+					t.Fatalf("repaired file holds %d entries, want %d", len(entries), tc.wantEntries)
+				}
+				for _, e := range entries {
+					if e.Epoch() > tc.pepoch {
+						t.Errorf("ghost entry at epoch %d survived repair at pepoch %d", e.Epoch(), tc.pepoch)
+					}
+				}
+			}
+			// Convergence: the second pass finds nothing to do.
+			st2, err := RepairTail([]*simdisk.Device{dev}, tc.pepoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st2.Zero() {
+				t.Fatalf("second repair pass not a no-op: %+v", st2)
+			}
+		})
+	}
+}
+
+// TestRepairTailSkewedWatermarks: two devices crashed at different durable
+// watermarks — the lagging device defines pepoch, and the leading device's
+// durably synced frames beyond it are ghosts that repair must drop on that
+// device while leaving the lagging device untouched.
+func TestRepairTailSkewedWatermarks(t *testing.T) {
+	recs := commitRecords(t, 1, 2, 5)
+	lag := simdisk.New("lag", simdisk.Unlimited())
+	lead := simdisk.New("lead", simdisk.Unlimited())
+	writeFile(t, lag, BatchFileName(0, 0), frames(recs[:2], 0, 0)) // synced through epoch 2
+	writeFile(t, lead, BatchFileName(1, 0), frames(recs, 1, 0))    // synced through epoch 5
+
+	const pepoch = 2 // min(loggers): the lagging device's watermark
+	devs := []*simdisk.Device{lag, lead}
+	st, err := RepairTail(devs, pepoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesRewritten != 1 || st.GhostRecords != 1 {
+		t.Fatalf("stats = %+v, want exactly the leading device's ghost dropped", st)
+	}
+	entries, _, err := ReloadAll(devs, ^uint32(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // epochs 1,2 on each device
+		t.Fatalf("post-repair entries = %d, want 4", len(entries))
+	}
+	if st2, _ := RepairTail(devs, pepoch); !st2.Zero() {
+		t.Fatalf("second pass not a no-op: %+v", st2)
+	}
+}
+
+// TestRepairTailCrashDuringRepair: a power failure in the middle of a
+// repair pass (tripped by the sidecar write) must leave the original batch
+// file untouched — publication is atomic — and a rerun of the repair after
+// the crash must converge to the same result as an uninterrupted repair.
+func TestRepairTailCrashDuringRepair(t *testing.T) {
+	recs := commitRecords(t, 1, 2, 5)
+	dirty := append(append([]byte(nil), frames(recs, 0, 0)...), 0xBA, 0xD0)
+
+	for _, tornTail := range []int64{0, 1} {
+		dev := simdisk.New("d", simdisk.Unlimited())
+		writeFile(t, dev, BatchFileName(0, 0), dirty)
+
+		plan := &simdisk.FaultPlan{Devs: map[string]*simdisk.DeviceFaults{
+			"d": {CrashAfterWrites: 1, TornTailBytes: tornTail},
+		}}
+		plan.Arm(dev)
+		_, err := RepairTail([]*simdisk.Device{dev}, 2)
+		if err == nil {
+			t.Fatal("repair on a power-failing device should fail")
+		}
+		if !errors.Is(err, simdisk.ErrPowerFailed) {
+			t.Fatalf("err = %v, want ErrPowerFailed", err)
+		}
+		dev.Crash()
+		plan.Disarm()
+
+		// The original is intact (possibly with a stale torn sidecar).
+		entries, _, err := ReloadAll([]*simdisk.Device{dev}, 2, 1)
+		if err != nil {
+			t.Fatalf("reload after crashed repair: %v", err)
+		}
+		if len(entries) != 2 {
+			t.Fatalf("entries after crashed repair = %d, want 2", len(entries))
+		}
+
+		// The rerun discards the stale sidecar and completes the repair.
+		st, err := RepairTail([]*simdisk.Device{dev}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FilesRewritten != 1 || st.GhostRecords != 1 {
+			t.Fatalf("rerun stats = %+v", st)
+		}
+		if tornTail > 0 && st.StaleSidecars != 1 {
+			t.Fatalf("rerun stats = %+v, want the torn sidecar discarded", st)
+		}
+		if st2, _ := RepairTail([]*simdisk.Device{dev}, 2); !st2.Zero() {
+			t.Fatalf("third pass not a no-op: %+v", st2)
+		}
+		got, _, err := ReloadAll([]*simdisk.Device{dev}, ^uint32(0), 1)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("final reload = %d entries, %v", len(got), err)
+		}
+	}
+}
+
+// TestReadPepochAppendOnly: the marker is an append-only record sequence —
+// the last valid record wins, and a torn or corrupt tail (crash mid-append)
+// falls back to the previous durable record instead of failing recovery.
+func TestReadPepochAppendOnly(t *testing.T) {
+	dev := simdisk.New("d", simdisk.Unlimited())
+
+	append8 := func(pe uint32) {
+		w := dev.Append(PepochFileName)
+		var buf [8]byte
+		buf[0] = byte(pe)
+		buf[1] = byte(pe >> 8)
+		buf[2] = byte(pe >> 16)
+		buf[3] = byte(pe >> 24)
+		x := pe ^ 0xFFFFFFFF
+		buf[4] = byte(x)
+		buf[5] = byte(x >> 8)
+		buf[6] = byte(x >> 16)
+		buf[7] = byte(x >> 24)
+		w.Write(buf[:])
+		w.Sync()
+	}
+
+	// Empty file (created, never written): pepoch 0.
+	dev.Create(PepochFileName).Sync()
+	if pe, err := ReadPepoch(dev); err != nil || pe != 0 {
+		t.Fatalf("empty marker: pe=%d err=%v", pe, err)
+	}
+	append8(3)
+	append8(7)
+	if pe, err := ReadPepoch(dev); err != nil || pe != 7 {
+		t.Fatalf("marker: pe=%d err=%v, want 7", pe, err)
+	}
+	// Torn half-record tail: previous record survives.
+	w := dev.Append(PepochFileName)
+	w.Write([]byte{9, 0, 0})
+	w.Sync()
+	if pe, err := ReadPepoch(dev); err != nil || pe != 7 {
+		t.Fatalf("torn tail: pe=%d err=%v, want 7", pe, err)
+	}
+	// Corrupt full record tail: same fallback.
+	dev2 := simdisk.New("d2", simdisk.Unlimited())
+	w2 := dev2.Create(PepochFileName)
+	w2.Write([]byte{5, 0, 0, 0, 0xFA, 0xFF, 0xFF, 0xFF}) // valid record pe=5
+	w2.Write([]byte{6, 0, 0, 0, 0, 0, 0, 0})             // bad check word
+	w2.Sync()
+	if pe, err := ReadPepoch(dev2); err != nil || pe != 5 {
+		t.Fatalf("corrupt tail: pe=%d err=%v, want 5", pe, err)
+	}
+}
+
+// TestRepairPepochMarkerMisalignment is the regression test for a bug the
+// torture subsystem found: a crash that tears the pepoch marker mid-append
+// leaves a misaligned fragment, and an incarnation that APPENDS after it
+// writes records the aligned ReadPepoch scan can never see — the durable
+// pepoch silently freezes while acks keep flowing. RepairTail must
+// truncate the marker back to a record boundary so resumed appends land
+// aligned.
+func TestRepairPepochMarkerMisalignment(t *testing.T) {
+	dev := simdisk.New("d", simdisk.Unlimited())
+	w := dev.Create(PepochFileName)
+	w.Write([]byte{7, 0, 0, 0, 0xF8, 0xFF, 0xFF, 0xFF}) // valid record pe=7
+	w.Write([]byte{9, 0, 0})                            // torn fragment (crash mid-append)
+	w.Sync()
+
+	st, err := RepairTail([]*simdisk.Device{dev}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesRewritten != 1 || st.TornBytes != 3 {
+		t.Fatalf("stats = %+v, want the 3-byte fragment dropped", st)
+	}
+	if st2, _ := RepairTail([]*simdisk.Device{dev}, 7); !st2.Zero() {
+		t.Fatalf("second pass not a no-op: %+v", st2)
+	}
+
+	// The resumed incarnation appends aligned records, and the scan sees
+	// them again.
+	w2 := dev.Append(PepochFileName)
+	w2.Write([]byte{12, 0, 0, 0, 0xF3, 0xFF, 0xFF, 0xFF}) // pe=12
+	w2.Sync()
+	if pe, err := ReadPepoch(dev); err != nil || pe != 12 {
+		t.Fatalf("pepoch after repaired resume = %d, %v; want 12", pe, err)
+	}
+}
