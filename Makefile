@@ -6,11 +6,11 @@ GO ?= go
 # over 8 sessions, crash resolution); internal/frontend has the pool-level
 # drain/backpressure/ordering tests; torture/simdisk/checkpoint carry the
 # crash-injection subsystem and its fault plane.
-RACE_PKGS := . ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/...
+RACE_PKGS := . ./client/... ./internal/wire/... ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/...
 
-.PHONY: check fmt vet build test race torture smoke bench bench-all
+.PHONY: check fmt vet build test race torture smoke bench bench-all docs
 
-check: fmt vet build test race torture smoke bench
+check: fmt vet build test race torture smoke bench docs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -46,7 +46,16 @@ torture:
 # Restart round trip (CLR-P and PLR). Machine-readable
 # BENCH_<experiment>.json results land in bench-results/.
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,restart,torture -duration 300ms -workers 2 -json bench-results
+	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,restart,torture,net -duration 300ms -workers 2 -json bench-results
+
+# The documentation gate: the spec-first doc-drift test (wire constants vs
+# docs/PROTOCOL.md's normative tables), the relative-link check over
+# README/ROADMAP/docs, and every runnable Example (Launch, Restart,
+# Frontend.Submit, client Dial) with its asserted output.
+docs:
+	$(GO) test -count=1 -run TestDocsProtocolDrift ./internal/wire/
+	$(GO) test -count=1 -run TestDocsLinks .
+	$(GO) test -count=1 -run Example . ./client/
 
 # The commit-hot-path regression guard: the BenchmarkCommitLogged* micro
 # benchmarks with allocation counts. The allocs/op columns are the contract

@@ -1,0 +1,567 @@
+// Package client is the Go client for pacmand's wire protocol
+// (docs/PROTOCOL.md): Dial a TCP or unix-socket endpoint, Submit stored-
+// procedure invocations, and get client-side durable-commit futures back.
+//
+// The client pipelines: up to Window requests ride one connection
+// concurrently, each tagged with a request id, and the server answers in
+// whatever order the transactions' epochs are group-commit released —
+// Submit never waits for a previous request's result. Submit blocks only
+// for flow control: when the in-flight window is full (the bounded-window
+// equivalent of the in-process Frontend's bounded queue) or while the
+// connection is down.
+//
+// Failures map onto the same sentinels the in-process API uses, so
+// errors.Is-based outcome classification is transport-agnostic:
+// a Result frame carrying CodeCrashed resolves the future with an error
+// wrapping pacman.ErrCrashed, CodeAborted wraps the procedure-abort error,
+// and a connection that dies between Submit and Result resolves
+// ErrConnLost — the network twin of "executed, maybe durable, ack lost",
+// which is exactly how the torture oracle treats it.
+//
+// Server-side backpressure (a full admission queue) and drain notices are
+// retried internally with exponential backoff: both mean the request was
+// NEVER executed, so resubmission is always safe. Lost connections are
+// redialed with backoff in the background; futures in flight at the loss
+// resolve ErrConnLost (unknown outcome — a resubmission could double-
+// execute), while queued-but-unsent work simply waits for the next link.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman"
+	"pacman/internal/proc"
+	"pacman/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrConnLost resolves futures whose connection died between submission
+	// and result: the request may or may not have executed (and may or may
+	// not be durable) — the oracle-visible "maybe" outcome.
+	ErrConnLost = errors.New("client: connection lost before result; outcome unknown")
+	// ErrClientClosed resolves futures submitted to (or pending retry on) a
+	// closed client; the request was not executed.
+	ErrClientClosed = errors.New("client: closed")
+)
+
+// Config tunes a Client. The zero value of every field has a working
+// default.
+type Config struct {
+	// Window bounds the client's in-flight requests; the effective window
+	// is min(Window, the server's HelloAck grant). Default 64.
+	Window int
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect and backpressure-retry
+	// backoff (defaults 5ms and 1s).
+	BackoffMin, BackoffMax time.Duration
+	// Logf, when set, receives connection-lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	return c
+}
+
+// Future is the client-side durable-commit handle of one submitted
+// invocation: it resolves when the server's Result frame arrives (nil
+// error means executed AND durable on the server's devices), or with
+// ErrConnLost / ErrClientClosed when the transport fails first.
+type Future struct {
+	done  chan struct{}
+	state atomic.Uint32
+	start time.Time
+	ts    pacman.TS
+	err   error
+}
+
+func newFuture() *Future {
+	return &Future{done: make(chan struct{}), start: time.Now()}
+}
+
+func (f *Future) resolve(ts pacman.TS, err error) {
+	if !f.state.CompareAndSwap(0, 1) {
+		return
+	}
+	f.ts = ts
+	f.err = err
+	close(f.done)
+}
+
+// Wait blocks until resolution and returns the commit timestamp and the
+// terminal error (nil means executed and durable).
+func (f *Future) Wait() (pacman.TS, error) {
+	<-f.done
+	return f.ts, f.err
+}
+
+// Done returns a channel closed at resolution, for select-based waiting.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Err blocks until resolution and returns the terminal error.
+func (f *Future) Err() error {
+	<-f.done
+	return f.err
+}
+
+// Epoch blocks until resolution and returns the commit epoch (zero on
+// error), the unit group commit acknowledges in.
+func (f *Future) Epoch() uint32 {
+	<-f.done
+	return uint32(f.ts >> 32)
+}
+
+// Latency blocks until resolution and returns the client-observed
+// submit-to-durable latency (zero on error) — the number the loopback
+// benchmark reports as durable p99.
+func (f *Future) Latency() time.Duration {
+	<-f.done
+	if f.err != nil {
+		return 0
+	}
+	return time.Since(f.start) // resolved instant ≈ now for waiters
+}
+
+// call is one in-flight (or retry-pending) request. The encoded submission
+// is retained so backpressure/draining rejections — which guarantee the
+// request never executed — can resend it safely.
+type call struct {
+	fut      *Future
+	name     string
+	args     proc.Args
+	adHoc    bool
+	reqID    uint64
+	attempts int
+}
+
+// link is one live connection incarnation: its own window semaphore,
+// pending map, and reader goroutine. A lost connection fails the whole
+// link; the client's maintainer dials a replacement.
+type link struct {
+	nc     net.Conn
+	procs  map[string]uint32
+	window chan struct{}
+	down   chan struct{}
+	dmu    sync.Mutex // guards draining + down close
+	downed bool
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu      sync.Mutex
+	pending  map[uint64]*call
+	draining bool
+}
+
+// Client is a pacmand connection manager: one live link at a time,
+// redialed with backoff, with a bounded in-flight window and pipelined
+// out-of-order completion.
+type Client struct {
+	network, addr string
+	cfg           Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	link   *link
+	closed bool
+
+	nextReq atomic.Uint64
+	wantAck chan struct{} // signals the maintainer to (re)dial
+}
+
+// Dial connects to a pacmand endpoint ("tcp" or "unix") and performs the
+// protocol handshake. The first connection is made synchronously so
+// misconfiguration fails fast; afterwards, lost connections are redialed
+// with exponential backoff in the background until Close.
+func Dial(network, addr string, cfg Config) (*Client, error) {
+	c := &Client{network: network, addr: addr, cfg: cfg.withDefaults(), wantAck: make(chan struct{}, 1)}
+	c.cond = sync.NewCond(&c.mu)
+	l, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.link = l
+	c.mu.Unlock()
+	go c.maintain()
+	return c, nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// connect dials once and handshakes: Hello out, HelloAck (or a coded
+// GoAway rejection) back. The returned link's reader goroutine is running.
+func (c *Client) connect() (*link, error) {
+	nc, err := net.DialTimeout(c.network, c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(nc, wire.Header{Type: wire.FrameHello}, wire.AppendHello(nil, wire.V1, wire.V1)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	h, p, err := wire.ReadFrame(nc, nil)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if h.Type == wire.FrameGoAway {
+		nc.Close()
+		return nil, fmt.Errorf("client: server rejected handshake: %w", wire.CodeError(h.Code, ""))
+	}
+	if h.Type != wire.FrameHelloAck {
+		nc.Close()
+		return nil, fmt.Errorf("client: expected HelloAck, got %s: %w", wire.FrameName(h.Type), wire.ErrBadFrame)
+	}
+	_, grant, procs, err := wire.ParseHelloAck(p)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello ack: %w", err)
+	}
+	window := c.cfg.Window
+	if int(grant) < window {
+		window = int(grant)
+	}
+	if window < 1 {
+		window = 1
+	}
+	l := &link{
+		nc:      nc,
+		procs:   make(map[string]uint32, len(procs)),
+		window:  make(chan struct{}, window),
+		down:    make(chan struct{}),
+		pending: map[uint64]*call{},
+	}
+	for i, name := range procs {
+		l.procs[name] = uint32(i)
+	}
+	go c.readLoop(l)
+	return l, nil
+}
+
+// maintain owns the link lifecycle: whenever the current link dies, dial a
+// replacement with exponential backoff until Close.
+func (c *Client) maintain() {
+	for {
+		c.mu.Lock()
+		l := c.link
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if l != nil {
+			select {
+			case <-l.down:
+			case <-c.wantAck:
+				continue
+			}
+		}
+		// Link is down: clear it and redial with backoff.
+		c.mu.Lock()
+		if c.link == l {
+			c.link = nil
+		}
+		c.mu.Unlock()
+		backoff := c.cfg.BackoffMin
+		for {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			nl, err := c.connect()
+			if err == nil {
+				c.mu.Lock()
+				c.link = nl
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				c.logf("client: reconnected to %s", c.addr)
+				break
+			}
+			c.logf("client: dial %s: %v (retrying in %v)", c.addr, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > c.cfg.BackoffMax {
+				backoff = c.cfg.BackoffMax
+			}
+		}
+	}
+}
+
+// fail kills a link: the connection closes, every pending call resolves
+// ErrConnLost, and the maintainer is woken to redial.
+func (l *link) fail() {
+	l.dmu.Lock()
+	if l.downed {
+		l.dmu.Unlock()
+		return
+	}
+	l.downed = true
+	close(l.down)
+	l.dmu.Unlock()
+	l.nc.Close()
+	l.pmu.Lock()
+	pending := l.pending
+	l.pending = map[uint64]*call{}
+	l.pmu.Unlock()
+	for _, cl := range pending {
+		cl.fut.resolve(0, ErrConnLost)
+	}
+}
+
+// readLoop decodes response frames off one link until it dies.
+func (c *Client) readLoop(l *link) {
+	defer l.fail()
+	var buf []byte
+	for {
+		h, p, err := wire.ReadFrame(l.nc, buf)
+		if err != nil {
+			return
+		}
+		buf = p
+		switch h.Type {
+		case wire.FrameResult:
+			l.pmu.Lock()
+			cl := l.pending[h.ReqID]
+			delete(l.pending, h.ReqID)
+			l.pmu.Unlock()
+			if cl == nil {
+				continue // stale or duplicate id; ignore
+			}
+			ts, msg, perr := wire.ParseResult(h.Code, p)
+			select {
+			case <-l.window:
+			default:
+			}
+			switch {
+			case perr != nil:
+				cl.fut.resolve(0, fmt.Errorf("client: result for req %d: %w", h.ReqID, perr))
+			case h.Code == wire.CodeOK:
+				cl.fut.resolve(pacman.TS(ts), nil)
+			case h.Code == wire.CodeDraining:
+				// Never executed: retry after the server comes back.
+				c.retryLater(cl)
+			default:
+				cl.fut.resolve(0, wire.CodeError(h.Code, msg))
+			}
+		case wire.FrameBackpressure:
+			l.pmu.Lock()
+			cl := l.pending[h.ReqID]
+			delete(l.pending, h.ReqID)
+			l.pmu.Unlock()
+			select {
+			case <-l.window:
+			default:
+			}
+			if cl != nil {
+				// Never executed (the admission queue was full): resubmit
+				// after a backoff proportional to how often this request has
+				// been pushed back.
+				c.retryLater(cl)
+			}
+		case wire.FrameGoAway:
+			// Stop submitting on this link; the server settles what is in
+			// flight and then closes. New submissions wait for the next
+			// incarnation.
+			l.pmu.Lock()
+			l.draining = true
+			l.pmu.Unlock()
+		case wire.FramePong:
+			// Liveness answer; nothing pending on it.
+		default:
+			c.logf("client: unexpected %s from server", wire.FrameName(h.Type))
+			return
+		}
+	}
+}
+
+// retryLater reschedules a never-executed call with exponential backoff.
+func (c *Client) retryLater(cl *call) {
+	cl.attempts++
+	delay := c.cfg.BackoffMin << (cl.attempts - 1)
+	if delay > c.cfg.BackoffMax || delay <= 0 {
+		delay = c.cfg.BackoffMax
+	}
+	time.AfterFunc(delay, func() { c.dispatch(cl) })
+}
+
+// Submit sends one invocation and returns its future. It blocks only for
+// flow control (window full or connection down), never for execution or
+// durability. A procedure name the server did not announce resolves the
+// future immediately with an error.
+func (c *Client) Submit(name string, args pacman.Args) *Future {
+	return c.submit(name, args, false)
+}
+
+// SubmitAdHoc is Submit for ad-hoc transactions (tuple-level logging even
+// under command logging).
+func (c *Client) SubmitAdHoc(name string, args pacman.Args) *Future {
+	return c.submit(name, args, true)
+}
+
+func (c *Client) submit(name string, args pacman.Args, adHoc bool) *Future {
+	cl := &call{fut: newFuture(), name: name, args: args, adHoc: adHoc, reqID: c.nextReq.Add(1)}
+	c.dispatch(cl)
+	return cl.fut
+}
+
+// Exec is the synchronous variant: Submit and wait for the durable result.
+func (c *Client) Exec(name string, args pacman.Args) (pacman.TS, error) {
+	return c.Submit(name, args).Wait()
+}
+
+// dispatch pushes one call through the current link, waiting out
+// disconnections; it is the shared path for first sends and retries.
+func (c *Client) dispatch(cl *call) {
+	for {
+		l := c.waitLink()
+		if l == nil {
+			cl.fut.resolve(0, ErrClientClosed)
+			return
+		}
+		procID, ok := l.procs[cl.name]
+		if !ok {
+			cl.fut.resolve(0, fmt.Errorf("client: procedure %q not announced by server: %w", cl.name, wire.ErrUnknownProc))
+			return
+		}
+		// Window slot: the bounded in-flight cap. Abandon the wait if the
+		// link dies under us and go find the next one.
+		select {
+		case l.window <- struct{}{}:
+		case <-l.down:
+			continue
+		}
+		l.pmu.Lock()
+		if l.draining {
+			l.pmu.Unlock()
+			select {
+			case <-l.window:
+			default:
+			}
+			<-l.down // server is settling and closing; wait it out
+			continue
+		}
+		l.pending[cl.reqID] = cl
+		l.pmu.Unlock()
+
+		var flags uint8
+		if cl.adHoc {
+			flags = wire.FlagAdHoc
+		}
+		payload := wire.AppendSubmit(nil, procID, cl.args)
+		l.wmu.Lock()
+		err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FrameSubmit, Flags: flags, ReqID: cl.reqID}, payload)
+		l.wmu.Unlock()
+		if err != nil {
+			// The frame is written with a single Write, which errors only
+			// when the bytes were not all handed off — so the server cannot
+			// have seen a complete Submit and the request never executed.
+			// Reclaim the call before fail() sweeps pending (everything
+			// ELSE in flight genuinely has an unknown outcome) and resend
+			// it on the next link. If a concurrent fail() got there first,
+			// the call already resolved ErrConnLost; don't resend then.
+			l.pmu.Lock()
+			_, mine := l.pending[cl.reqID]
+			delete(l.pending, cl.reqID)
+			l.pmu.Unlock()
+			l.fail()
+			if mine {
+				c.logf("client: write to %s failed (%v); resending req %d on next connection", c.addr, err, cl.reqID)
+				continue
+			}
+			return
+		}
+		return
+	}
+}
+
+// waitLink blocks until a live, non-draining link exists (or the client is
+// closed — nil return).
+func (c *Client) waitLink() *link {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil
+		}
+		if l := c.link; l != nil {
+			l.pmu.Lock()
+			draining := l.draining
+			l.pmu.Unlock()
+			select {
+			case <-l.down:
+			default:
+				if !draining {
+					return l
+				}
+			}
+			// Dead or draining: drop our reference and wait for the
+			// maintainer to replace it.
+			c.mu.Unlock()
+			select {
+			case <-l.down:
+			case <-time.After(c.cfg.BackoffMin):
+			}
+			c.mu.Lock()
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// Ping round-trips a liveness probe on the current connection.
+func (c *Client) Ping() error {
+	l := c.waitLink()
+	if l == nil {
+		return ErrClientClosed
+	}
+	l.wmu.Lock()
+	err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FramePing, ReqID: c.nextReq.Add(1)}, nil)
+	l.wmu.Unlock()
+	return err
+}
+
+// Close severs the connection and stops reconnecting. Futures in flight
+// resolve ErrConnLost; retry-pending ones resolve ErrClientClosed when
+// their timer fires.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	l := c.link
+	c.link = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	select {
+	case c.wantAck <- struct{}{}:
+	default:
+	}
+	if l != nil {
+		l.fail()
+	}
+}

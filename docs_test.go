@@ -1,0 +1,70 @@
+package pacman_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinks walks the user-facing markdown (README, ROADMAP, docs/)
+// and verifies every relative link target exists, so renames and moved
+// files fail the build instead of quietly rotting the docs. External
+// links (http/https/mailto), pure anchors, and repo-external paths (the
+// CI badge's ../../actions/... form) are out of scope.
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md", "ROADMAP.md"}
+	entries, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, entries...)
+	if len(entries) == 0 {
+		t.Fatal("docs/*.md matched nothing — the docs moved without updating this test")
+	}
+
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inline markdown links, excluding images; code spans are stripped
+	// first so example snippets cannot produce false positives.
+	link := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	codeSpan := regexp.MustCompile("`[^`]*`")
+
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		text := string(b)
+		// Drop fenced code blocks: they hold shell/Go samples, not links.
+		var kept []string
+		inFence := false
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if !inFence {
+				kept = append(kept, codeSpan.ReplaceAllString(line, ""))
+			}
+		}
+		for _, m := range link.FindAllStringSubmatch(strings.Join(kept, "\n"), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(f), target)
+			abs, err := filepath.Abs(resolved)
+			if err != nil || !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+				continue // points outside the repo (e.g. GitHub UI paths)
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", f, m[1], resolved)
+			}
+		}
+	}
+}

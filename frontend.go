@@ -88,6 +88,39 @@ func (f *Frontend) submit(name string, args Args, adHoc bool) *Future {
 	return f.fe.Submit(c, args)
 }
 
+// TrySubmit is the non-blocking admission variant of Submit: it returns
+// (future, true) only when the submission queue had space right now, and
+// (nil, false) when the queue was full — the caller decides whether to
+// retry, shed load, or surface backpressure (pacmand turns it into a
+// backpressure frame). On a closed frontend it returns a future already
+// resolved with ErrFrontendClosed, and ok is false.
+func (f *Frontend) TrySubmit(name string, args Args) (*Future, bool) {
+	return f.trySubmit(name, args, false)
+}
+
+// TrySubmitAdHoc is TrySubmit for ad-hoc transactions.
+func (f *Frontend) TrySubmitAdHoc(name string, args Args) (*Future, bool) {
+	return f.trySubmit(name, args, true)
+}
+
+func (f *Frontend) trySubmit(name string, args Args, adHoc bool) (*Future, bool) {
+	c := f.d.reg.ByName(name)
+	if c == nil {
+		fut := txn.NewFuture(time.Now())
+		fut.Resolve(time.Now(), fmt.Errorf("pacman: unknown procedure %q", name))
+		return fut, false
+	}
+	return f.fe.TrySubmit(c, args, adHoc)
+}
+
+// QueueDepth returns the submission queue's current occupancy; paired with
+// QueueCap it is the admission-control signal network backpressure keys
+// off.
+func (f *Frontend) QueueDepth() int { return f.fe.Depth() }
+
+// QueueCap returns the submission queue's capacity.
+func (f *Frontend) QueueCap() int { return f.fe.Capacity() }
+
 // Exec submits and waits for durability: when it returns with a nil error,
 // the transaction's epoch has been group-commit released.
 func (f *Frontend) Exec(name string, args Args) (TS, error) {

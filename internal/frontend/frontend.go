@@ -63,6 +63,12 @@ type Frontend struct {
 	closing chan struct{} // closed first: rejects new submissions
 	drainCh chan struct{} // closed once submitters settle: workers drain and exit
 
+	// closeMu orders submitters against Close: a submitter holds the read
+	// lock across its closed-check and submitWG.Add, Close flips closed
+	// under the write lock before waiting — so submitWG.Add can never
+	// start once submitWG.Wait has (the WaitGroup contract for adds that
+	// begin at counter zero).
+	closeMu  sync.RWMutex
 	submitWG sync.WaitGroup // in-flight Submit calls
 	workerWG sync.WaitGroup
 	closed   atomic.Bool
@@ -155,12 +161,15 @@ func (f *Frontend) SubmitAdHoc(p *proc.Compiled, args proc.Args) *txn.Future {
 
 func (f *Frontend) submit(p *proc.Compiled, args proc.Args, adHoc bool) *txn.Future {
 	fut := txn.NewFuture(time.Now())
-	f.submitWG.Add(1)
-	defer f.submitWG.Done()
+	f.closeMu.RLock()
 	if f.closed.Load() {
+		f.closeMu.RUnlock()
 		fut.Resolve(time.Now(), ErrClosed)
 		return fut
 	}
+	f.submitWG.Add(1)
+	f.closeMu.RUnlock()
+	defer f.submitWG.Done()
 	select {
 	case f.reqs <- request{p: p, args: args, adHoc: adHoc, fut: fut}:
 	case <-f.closing:
@@ -168,6 +177,42 @@ func (f *Frontend) submit(p *proc.Compiled, args proc.Args, adHoc bool) *txn.Fut
 	}
 	return fut
 }
+
+// TrySubmit is the non-blocking admission path: it enqueues the invocation
+// and returns its future only when queue space is available RIGHT NOW.
+// A false return means the queue was full (or the frontend closed — the
+// returned future then resolves ErrClosed and ok is still false so callers
+// treat both as "not admitted"). The network server uses it to turn a full
+// queue into a backpressure frame instead of blocking the connection's
+// reader goroutine.
+func (f *Frontend) TrySubmit(p *proc.Compiled, args proc.Args, adHoc bool) (*txn.Future, bool) {
+	fut := txn.NewFuture(time.Now())
+	f.closeMu.RLock()
+	if f.closed.Load() {
+		f.closeMu.RUnlock()
+		fut.Resolve(time.Now(), ErrClosed)
+		return fut, false
+	}
+	f.submitWG.Add(1)
+	f.closeMu.RUnlock()
+	defer f.submitWG.Done()
+	select {
+	case f.reqs <- request{p: p, args: args, adHoc: adHoc, fut: fut}:
+		return fut, true
+	case <-f.closing:
+		fut.Resolve(time.Now(), ErrClosed)
+		return fut, false
+	default:
+		return nil, false
+	}
+}
+
+// Depth returns the submission queue's current occupancy — the admission-
+// control signal backpressure decisions key off.
+func (f *Frontend) Depth() int { return len(f.reqs) }
+
+// Capacity returns the submission queue's capacity.
+func (f *Frontend) Capacity() int { return cap(f.reqs) }
 
 // Exec is the synchronous durable path: Submit and wait for group-commit
 // release. The returned timestamp is durable (or err explains why not).
@@ -195,7 +240,9 @@ func (f *Frontend) Executed() int64 { return f.executed.Load() }
 // resolve through the normal release path (or the log set's Close/Abort).
 func (f *Frontend) Close() {
 	f.closeOnce.Do(func() {
+		f.closeMu.Lock()
 		f.closed.Store(true)
+		f.closeMu.Unlock()
 		close(f.closing)
 		// Wait out in-flight Submit calls: each has either enqueued (the
 		// drain below will run it) or been rejected via the closing channel.

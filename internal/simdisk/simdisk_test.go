@@ -205,8 +205,10 @@ func TestUnlimitedIsFast(t *testing.T) {
 		w.Sync()
 	}
 	// No modeled delays: only memory-copy cost, far below any modeled
-	// bandwidth at these sizes.
-	if el := time.Since(start); el > 2*time.Second {
+	// bandwidth at these sizes. The bound is generous because the race
+	// suite runs many packages in parallel and wall-clock time here is
+	// mostly scheduler contention, not device behavior.
+	if el := time.Since(start); el > 10*time.Second {
 		t.Errorf("unlimited device too slow: %v", el)
 	}
 }

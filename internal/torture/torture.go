@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pacman"
+	"pacman/client"
 	"pacman/internal/proc"
 	"pacman/internal/simdisk"
 	"pacman/internal/tuple"
@@ -244,67 +245,11 @@ func Run(cfg Config) (*Stats, error) {
 			cfg.Hook("crashed", cycle, devices, nil)
 		}
 
-		// Recovery phase: Restart, possibly under an armed fault plan; an
-		// injected crash re-enters Restart from the crashed state. The last
-		// attempt always runs clean, so only a genuine bug can fail it.
-		const maxAttempts = 4
-		var res *pacman.RecoveryResult
-		for attempt := 0; ; attempt++ {
-			var rplan *simdisk.FaultPlan
-			inject := attempt < maxAttempts-1 &&
-				(rng.Intn(100) < cfg.RecoveryCrashPct || (cfg.ForceRecoveryCrash && cycle == 0 && attempt == 0))
-			if inject {
-				rplan = recoveryPlan(rng, devices, cfg.ForceRecoveryCrash && cycle == 0 && attempt == 0)
-				logPlan(fmt.Sprintf("recovery attempt %d", attempt), cycle, rplan)
-				rplan.Arm(devices...)
-			} else {
-				// Clean attempt: prove tail repair converges before Restart
-				// runs it for real (double repair is a no-op on round two).
-				pe, err := wal.ReadPepoch(devices[0])
-				if err != nil && !errors.Is(err, simdisk.ErrNotExist) {
-					return st, violation(cycle, []string{fmt.Sprintf("pepoch unreadable after crash: %v", err)})
-				}
-				if _, err := wal.RepairTail(devices, pe); err != nil {
-					return st, violation(cycle, []string{fmt.Sprintf("tail repair failed: %v", err)})
-				}
-				if st2, err := wal.RepairTail(devices, pe); err != nil || !st2.Zero() {
-					return st, violation(cycle, []string{fmt.Sprintf("tail repair did not converge: second pass %+v, err %v", st2, err)})
-				}
-			}
-
-			db2, r, err := pacman.Restart(devices, h.bp, pacman.RecoverConfig{
-				Threads: cfg.Threads,
-				Serve:   pacman.Options{MaxRetries: 1 << 20},
-			})
-			if rplan != nil {
-				// Close the race between Restart finishing and the armed
-				// plan tripping on the first post-restart flush: a tripped
-				// plan means the instance is dead no matter what Restart
-				// returned.
-				rplan.Disarm()
-				if rplan.Tripped() {
-					if err == nil {
-						db2.Crash()
-					}
-					for _, d := range devices {
-						d.Crash()
-					}
-					st.RecoveryCrashes++
-					h.logf(cfg, "cycle %d: recovery attempt %d crashed (re-entering)", cycle, attempt)
-					continue
-				}
-				if err != nil && errors.Is(err, simdisk.ErrInjectedRead) {
-					st.TransientReadFaults++
-					h.logf(cfg, "cycle %d: recovery attempt %d hit transient read fault (retrying)", cycle, attempt)
-					continue
-				}
-			}
-			if err != nil {
-				return st, violation(cycle, []string{fmt.Sprintf("Restart failed with no fault armed: %v", err)})
-			}
-			db, res = db2, r
-			break
+		db2, res, err := h.recoverCycle(cfg, rng, devices, st, cycle, logPlan, violation)
+		if err != nil {
+			return st, err
 		}
+		db = db2
 		st.Replayed = res.Entries
 		if cfg.Hook != nil {
 			cfg.Hook("recovered", cycle, devices, res)
@@ -325,6 +270,72 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	db.Close()
 	return st, nil
+}
+
+// recoverCycle is one cycle's recovery phase, shared by the in-process and
+// network runs: Restart, possibly under an armed fault plan; an injected
+// crash re-enters Restart from the crashed state. The last attempt always
+// runs clean, so only a genuine bug can fail it. A non-nil error is either
+// a *Violation (from the violation closure) or an infrastructure error.
+func (h *harness) recoverCycle(cfg Config, rng *rand.Rand, devices []*pacman.Device, st *Stats, cycle int,
+	logPlan func(kind string, cycle int, p *simdisk.FaultPlan),
+	violation func(cycle int, faults []string) error) (*pacman.DB, *pacman.RecoveryResult, error) {
+	const maxAttempts = 4
+	for attempt := 0; ; attempt++ {
+		var rplan *simdisk.FaultPlan
+		inject := attempt < maxAttempts-1 &&
+			(rng.Intn(100) < cfg.RecoveryCrashPct || (cfg.ForceRecoveryCrash && cycle == 0 && attempt == 0))
+		if inject {
+			rplan = recoveryPlan(rng, devices, cfg.ForceRecoveryCrash && cycle == 0 && attempt == 0)
+			logPlan(fmt.Sprintf("recovery attempt %d", attempt), cycle, rplan)
+			rplan.Arm(devices...)
+		} else {
+			// Clean attempt: prove tail repair converges before Restart
+			// runs it for real (double repair is a no-op on round two).
+			pe, err := wal.ReadPepoch(devices[0])
+			if err != nil && !errors.Is(err, simdisk.ErrNotExist) {
+				return nil, nil, violation(cycle, []string{fmt.Sprintf("pepoch unreadable after crash: %v", err)})
+			}
+			if _, err := wal.RepairTail(devices, pe); err != nil {
+				return nil, nil, violation(cycle, []string{fmt.Sprintf("tail repair failed: %v", err)})
+			}
+			if st2, err := wal.RepairTail(devices, pe); err != nil || !st2.Zero() {
+				return nil, nil, violation(cycle, []string{fmt.Sprintf("tail repair did not converge: second pass %+v, err %v", st2, err)})
+			}
+		}
+
+		db2, r, err := pacman.Restart(devices, h.bp, pacman.RecoverConfig{
+			Threads: cfg.Threads,
+			Serve:   pacman.Options{MaxRetries: 1 << 20},
+		})
+		if rplan != nil {
+			// Close the race between Restart finishing and the armed
+			// plan tripping on the first post-restart flush: a tripped
+			// plan means the instance is dead no matter what Restart
+			// returned.
+			rplan.Disarm()
+			if rplan.Tripped() {
+				if err == nil {
+					db2.Crash()
+				}
+				for _, d := range devices {
+					d.Crash()
+				}
+				st.RecoveryCrashes++
+				h.logf(cfg, "cycle %d: recovery attempt %d crashed (re-entering)", cycle, attempt)
+				continue
+			}
+			if err != nil && errors.Is(err, simdisk.ErrInjectedRead) {
+				st.TransientReadFaults++
+				h.logf(cfg, "cycle %d: recovery attempt %d hit transient read fault (retrying)", cycle, attempt)
+				continue
+			}
+		}
+		if err != nil {
+			return nil, nil, violation(cycle, []string{fmt.Sprintf("Restart failed with no fault armed: %v", err)})
+		}
+		return db2, r, nil
+	}
 }
 
 // harness holds the per-run workload machinery.
@@ -417,9 +428,23 @@ func (h *harness) takeStamp() int {
 	return i
 }
 
+// waiter abstracts the two durable-commit future shapes the torture
+// journals settle on: the in-process *pacman.Future and the wire client's
+// *client.Future. Both resolve at epoch release (or with a terminal error),
+// so one settle classifier serves the in-process and the network cycles.
+type waiter interface {
+	Wait() (pacman.TS, error)
+	Epoch() uint32
+}
+
+// submitFn abstracts how a generated transaction reaches the system: a
+// Frontend closure for the in-process cycle, a wire-client closure for the
+// network cycle.
+type submitFn func(name string, args pacman.Args) waiter
+
 // pending is one in-flight submission with its oracle metadata.
 type pending struct {
-	fut      *pacman.Future
+	fut      waiter
 	lo, hi   int64 // committed delta bounds on SAVINGS+CHECKING
 	logged   bool
 	mayAbort bool
@@ -447,7 +472,11 @@ func settle(j *journal, p pending) {
 		if p.stamp >= 0 {
 			j.stampsAcked = append(j.stampsAcked, stampRec{pair: p.stamp, val: p.stampVal})
 		}
-	case errors.Is(err, pacman.ErrCrashed) || errors.Is(err, pacman.ErrClosed):
+	case errors.Is(err, pacman.ErrCrashed) || errors.Is(err, pacman.ErrClosed),
+		errors.Is(err, client.ErrConnLost):
+		// ErrConnLost is the network twin of the crash sentinels: the request
+		// was sent, the connection died before the result — executed and
+		// maybe durable, so the oracle bounds widen exactly as for a crash.
 		j.maybe++
 		if p.lo < 0 {
 			j.maybeLo += p.lo // effects maybe applied: the low bound widens
@@ -458,7 +487,7 @@ func settle(j *journal, p pending) {
 		if p.stamp >= 0 {
 			j.stampsMaybe = append(j.stampsMaybe, stampRec{pair: p.stamp, val: p.stampVal})
 		}
-	case errors.Is(err, pacman.ErrFrontendClosed):
+	case errors.Is(err, pacman.ErrFrontendClosed), errors.Is(err, client.ErrClientClosed):
 		j.rejected++ // never executed: no effects, no slack
 	case p.mayAbort && errors.Is(err, proc.ErrAborted):
 		j.aborted++ // rolled back: no effects
@@ -490,9 +519,10 @@ func (h *harness) serve(cfg Config, db *pacman.DB, cycle int, tripped <-chan str
 		go func(c int, j *journal) {
 			defer wg.Done()
 			crng := rand.New(rand.NewSource(cfg.Seed ^ int64(cycle)*7919 ^ int64(c)*104729))
+			submit := func(name string, args pacman.Args) waiter { return fe.Submit(name, args) }
 			var window []pending
 			for !stop.Load() && budget.Add(-1) >= 0 {
-				p := h.generate(crng, fe)
+				p := h.generate(crng, submit)
 				window = append(window, p)
 				if len(window) >= maxInFlight {
 					settle(j, window[0])
@@ -534,11 +564,11 @@ func (h *harness) serve(cfg Config, db *pacman.DB, cycle int, tripped <-chan str
 // metadata. Roughly 1/8 of submissions are ledger stamps; the rest are the
 // workload's own mix (with integer-valued amounts for smallbank, so the
 // conservation oracle is exact).
-func (h *harness) generate(rng *rand.Rand, fe *pacman.Frontend) pending {
+func (h *harness) generate(rng *rand.Rand, submit submitFn) pending {
 	if rng.Intn(8) == 0 {
 		if pair := h.takeStamp(); pair >= 0 {
 			val := 1 + rng.Int63n(1<<40)
-			fut := fe.Submit("TortureStamp", pacman.Args{
+			fut := submit("TortureStamp", pacman.Args{
 				proc.A(tuple.I(int64(pairKeyA(pair)))),
 				proc.A(tuple.I(int64(pairKeyB(pair)))),
 				proc.A(tuple.I(val)),
@@ -550,7 +580,7 @@ func (h *harness) generate(rng *rand.Rand, fe *pacman.Frontend) pending {
 		tx := h.wk.Generate(rng)
 		name := tx.Proc.Name()
 		return pending{
-			fut: fe.Submit(name, tx.Args),
+			fut: submit(name, tx.Args),
 			// Only transactions guaranteed to install at least one write
 			// count toward the replayed-entry bound (Delivery, for one, can
 			// legally commit with nothing to deliver).
@@ -559,12 +589,12 @@ func (h *harness) generate(rng *rand.Rand, fe *pacman.Frontend) pending {
 			stamp:    -1,
 		}
 	}
-	return h.smallbankTxn(rng, fe)
+	return h.smallbankTxn(rng, submit)
 }
 
 // smallbankTxn generates one Smallbank transaction with integer amounts and
 // exact conservation deltas.
-func (h *harness) smallbankTxn(rng *rand.Rand, fe *pacman.Frontend) pending {
+func (h *harness) smallbankTxn(rng *rand.Rand, submit submitFn) pending {
 	cust := func() int64 {
 		if rng.Intn(4) == 0 {
 			return 1 + rng.Int63n(4) // hot keys
@@ -583,12 +613,12 @@ func (h *harness) smallbankTxn(rng *rand.Rand, fe *pacman.Frontend) pending {
 	p := pending{stamp: -1, logged: true}
 	switch rng.Intn(10) {
 	case 0, 1:
-		p.fut = fe.Submit("Amalgamate", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.I(c2))})
+		p.fut = submit("Amalgamate", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.I(c2))})
 	case 2, 3:
-		p.fut = fe.Submit("DepositChecking", pacman.Args{proc.A(tuple.I(c1)), fa})
+		p.fut = submit("DepositChecking", pacman.Args{proc.A(tuple.I(c1)), fa})
 		p.lo, p.hi = amt, amt
 	case 4, 5:
-		p.fut = fe.Submit("SendPayment", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.I(c2)), fa})
+		p.fut = submit("SendPayment", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.I(c2)), fa})
 		// An underfunded SendPayment commits with ZERO writes and therefore
 		// produces no log record: it cannot count toward the replayed-entry
 		// lower bound (conservation still holds either way).
@@ -598,14 +628,14 @@ func (h *harness) smallbankTxn(rng *rand.Rand, fe *pacman.Frontend) pending {
 		if rng.Intn(3) == 0 {
 			v = -v
 		}
-		p.fut = fe.Submit("TransactSavings", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.F(float64(v)))})
+		p.fut = submit("TransactSavings", pacman.Args{proc.A(tuple.I(c1)), proc.A(tuple.F(float64(v)))})
 		p.lo, p.hi = v, v
 		p.mayAbort = true
 	case 7, 8:
-		p.fut = fe.Submit("WriteCheck", pacman.Args{proc.A(tuple.I(c1)), fa})
+		p.fut = submit("WriteCheck", pacman.Args{proc.A(tuple.I(c1)), fa})
 		p.lo, p.hi = -amt-1, -amt // overdraft penalty is state-dependent
 	default:
-		p.fut = fe.Submit("Balance", pacman.Args{proc.A(tuple.I(c1))})
+		p.fut = submit("Balance", pacman.Args{proc.A(tuple.I(c1))})
 		p.logged = false
 	}
 	return p
@@ -620,26 +650,50 @@ func (h *harness) sbCustomers() int {
 // restarted instance: it must succeed, commit above the recovered pepoch,
 // and read back in the next cycle's verification.
 func (h *harness) proveServing(db *pacman.DB, res *pacman.RecoveryResult, st *Stats) string {
-	pair := h.takeStamp()
-	if pair < 0 {
-		return "torture harness bug: ledger exhausted"
-	}
 	fe := db.MustFrontend(pacman.FrontendConfig{Workers: 1})
 	defer fe.Close()
-	val := int64(1_000_000_000) + int64(pair)
-	ts, err := fe.Exec("TortureStamp", pacman.Args{
-		proc.A(tuple.I(int64(pairKeyA(pair)))),
-		proc.A(tuple.I(int64(pairKeyB(pair)))),
-		proc.A(tuple.I(val)),
-	})
-	if err != nil {
-		return fmt.Sprintf("restarted instance refused a durable commit: %v", err)
+	return h.proveServingVia(fe.Exec, res, st)
+}
+
+// proveServingVia is proveServing's transport-agnostic core: exec is either
+// a Frontend's Exec or a wire client's, so the network cycle proves the
+// recovered incarnation serves over the socket.
+//
+// A prober whose connection predates the kill can see its first stamp
+// resolve ErrConnLost — on TCP the doomed frame sits in a kernel buffer
+// until the reset arrives, which is the client's documented "outcome
+// unknown" contract, not an availability failure. Each lost stamp is
+// recorded as a maybe for the oracle and the proof retried on a fresh
+// ledger pair; only persistent refusal is a violation.
+func (h *harness) proveServingVia(exec func(string, pacman.Args) (pacman.TS, error), res *pacman.RecoveryResult, st *Stats) string {
+	var ts pacman.TS
+	for attempt := 0; ; attempt++ {
+		pair := h.takeStamp()
+		if pair < 0 {
+			return "torture harness bug: ledger exhausted"
+		}
+		val := int64(1_000_000_000) + int64(pair)
+		var err error
+		ts, err = exec("TortureStamp", pacman.Args{
+			proc.A(tuple.I(int64(pairKeyA(pair)))),
+			proc.A(tuple.I(int64(pairKeyB(pair)))),
+			proc.A(tuple.I(val)),
+		})
+		if errors.Is(err, client.ErrConnLost) && attempt < 4 {
+			h.oracle.stamps[pair] = stampState{val: val, known: h.oracle.stamps[pair].known, status: stampMaybe}
+			st.Maybe++
+			continue
+		}
+		if err != nil {
+			return fmt.Sprintf("restarted instance refused a durable commit: %v", err)
+		}
+		h.oracle.stamps[pair] = stampState{val: val, known: h.oracle.stamps[pair].known, status: stampAcked}
+		break
 	}
 	epoch := uint32(ts >> 32)
 	if epoch <= res.Pepoch {
 		return fmt.Sprintf("post-restart commit epoch %d not above recovered pepoch %d", epoch, res.Pepoch)
 	}
-	h.oracle.stamps[pair] = stampState{val: val, status: stampAcked}
 	if epoch > h.oracle.maxAckedEpoch {
 		h.oracle.maxAckedEpoch = epoch
 	}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDocsProtocolDrift enforces the spec-first contract: docs/PROTOCOL.md
+// is the normative protocol reference, and this test fails when the Go
+// constants diverge from its tables — in either direction. A frame type,
+// status code, or protocol constant added (or renumbered) in code without
+// updating the document breaks the build, and so does a documented row
+// with no matching constant.
+func TestDocsProtocolDrift(t *testing.T) {
+	f, err := os.Open("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("normative spec missing: %v", err)
+	}
+	defer f.Close()
+
+	// A normative row is `| `Name` | value | ...` — backticked identifier
+	// first, integer (decimal or 0x-hex, possibly backticked) second.
+	row := regexp.MustCompile("^\\|\\s*`([A-Za-z0-9]+)`\\s*\\|\\s*`?(0x[0-9A-Fa-f]+|[0-9]+)`?\\s*\\|")
+
+	docFrames := map[string]uint8{}
+	docCodes := map[string]uint16{}
+	docConsts := map[string]uint64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := row.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		val, err := strconv.ParseUint(strings.TrimPrefix(m[2], "0x"), map[bool]int{true: 16, false: 10}[strings.HasPrefix(m[2], "0x")], 64)
+		if err != nil {
+			t.Fatalf("row %q: unparseable value %q: %v", name, m[2], err)
+		}
+		switch {
+		case strings.HasPrefix(name, "Frame"):
+			docFrames[name] = uint8(val)
+		case strings.HasPrefix(name, "Code"):
+			docCodes[name] = uint16(val)
+		default:
+			docConsts[name] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Code → doc: every constant the package defines must be documented
+	// with the same value.
+	for v, name := range frameNames {
+		if dv, ok := docFrames[name]; !ok {
+			t.Errorf("%s (= %d) is not in docs/PROTOCOL.md's frame table", name, v)
+		} else if dv != v {
+			t.Errorf("%s: code says %d, docs/PROTOCOL.md says %d", name, v, dv)
+		}
+	}
+	for v, name := range codeNames {
+		if dv, ok := docCodes[name]; !ok {
+			t.Errorf("%s (= %d) is not in docs/PROTOCOL.md's status-code table", name, v)
+		} else if dv != v {
+			t.Errorf("%s: code says %d, docs/PROTOCOL.md says %d", name, v, dv)
+		}
+	}
+
+	// Doc → code: the document may not describe frames or codes that do
+	// not exist (a deleted constant must leave the spec too).
+	if len(docFrames) != len(frameNames) {
+		t.Errorf("docs/PROTOCOL.md documents %d frame types, code defines %d", len(docFrames), len(frameNames))
+	}
+	if len(docCodes) != len(codeNames) {
+		t.Errorf("docs/PROTOCOL.md documents %d status codes, code defines %d", len(docCodes), len(codeNames))
+	}
+
+	// Protocol constants.
+	want := map[string]uint64{
+		"Magic":         uint64(Magic),
+		"V1":            uint64(V1),
+		"HeaderSize":    HeaderSize,
+		"MaxPayload":    MaxPayload,
+		"DefaultWindow": DefaultWindow,
+	}
+	for name, wv := range want {
+		if dv, ok := docConsts[name]; !ok {
+			t.Errorf("constant %s (= %d) is not in docs/PROTOCOL.md's constants table", name, wv)
+		} else if dv != wv {
+			t.Errorf("constant %s: code says %d, docs/PROTOCOL.md says %d", name, wv, dv)
+		}
+	}
+	for name := range docConsts {
+		if _, ok := want[name]; !ok {
+			t.Errorf("docs/PROTOCOL.md documents constant %s which the code does not define", name)
+		}
+	}
+}

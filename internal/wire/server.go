@@ -1,0 +1,412 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman"
+)
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Workers is the frontend session-pool size the server multiplexes
+	// every connection onto (default 4).
+	Workers int
+	// Queue is the frontend admission-queue capacity; a full queue surfaces
+	// to clients as backpressure frames (default 4×Workers).
+	Queue int
+	// Window is the per-connection in-flight grant announced in HelloAck;
+	// submissions beyond it are answered with backpressure (default
+	// DefaultWindow).
+	Window int
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// feState is the serving state a connection snapshots per request: the
+// frontend of the CURRENT database incarnation and its procedure table.
+// Attach swaps it atomically across a crash→Restart cycle, so connections
+// that survive the daemon's restart (or arrive mid-swap) always submit to
+// the live incarnation.
+type feState struct {
+	fe    *pacman.Frontend
+	procs []string
+}
+
+// Server speaks the wire protocol over any set of TCP/unix listeners,
+// multiplexing every connection's pipelined submissions onto one pacman
+// Frontend. It is the library form of pacmand: the daemon binary, the
+// loopback benchmark, and the network torture cycle all embed it.
+//
+// Lifecycle: NewServer → Attach(db) → Listen(...) → serve; then either
+// Drain (graceful: stop accepting, reject new work with CodeDraining,
+// settle in-flight futures, retire the pool) or Kill (abrupt: sever every
+// connection, simulating the daemon process dying with its instance).
+// After a Kill, Attach a restarted instance and Listen again — the same
+// Server object serves the next incarnation, which is exactly what the
+// torture cycle exercises.
+type Server struct {
+	cfg   ServerConfig
+	state atomic.Pointer[feState]
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*srvConn]struct{}
+	draining  atomic.Bool
+	acceptWG  sync.WaitGroup
+}
+
+// NewServer builds a server; Attach an instance before Listen.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[*srvConn]struct{}{},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Attach binds the server to a (started) database instance: it opens a
+// frontend over it and publishes the procedure table. Re-attaching after a
+// crash→Restart swaps the serving state; the previous incarnation's
+// frontend is closed (safe on a crashed instance — its futures have
+// already resolved ErrCrashed).
+func (s *Server) Attach(db *pacman.DB) error {
+	fe, err := db.NewFrontend(pacman.FrontendConfig{Workers: s.cfg.Workers, Queue: s.cfg.Queue})
+	if err != nil {
+		return err
+	}
+	old := s.state.Swap(&feState{fe: fe, procs: db.Procedures()})
+	s.draining.Store(false)
+	if old != nil {
+		old.fe.Close()
+	}
+	return nil
+}
+
+// Listen opens a listener ("tcp" or "unix") and starts accepting. A stale
+// unix socket file left by a killed incarnation is removed and retried.
+// The returned address is the bound one (useful with ":0").
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil && network == "unix" {
+		// A previous incarnation's socket file: remove and retry once.
+		if rmErr := os.Remove(addr); rmErr == nil {
+			l, err = net.Listen(network, addr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return // listener closed (Drain/Kill)
+		}
+		c := &srvConn{s: s, nc: nc, out: make(chan outMsg, s.cfg.Window+8), closed: make(chan struct{})}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.writeLoop()
+		go c.readLoop()
+	}
+}
+
+// closeListeners stops accepting new connections.
+func (s *Server) closeListeners() {
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+		delete(s.listeners, l)
+	}
+	s.mu.Unlock()
+	s.acceptWG.Wait()
+}
+
+// snapshotConns copies the live connection set.
+func (s *Server) snapshotConns() []*srvConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Drain is the graceful shutdown: stop accepting, announce GoAway on every
+// connection, reject new submissions with CodeDraining, wait (bounded by
+// timeout) for every in-flight future to settle and its result frame to be
+// queued, then sever connections and retire the frontend pool. The caller
+// closes the database afterwards, which flushes group commit.
+func (s *Server) Drain(timeout time.Duration) {
+	s.draining.Store(true)
+	s.closeListeners()
+	conns := s.snapshotConns()
+	for _, c := range conns {
+		c.send(outMsg{h: Header{Type: FrameGoAway, Code: CodeDraining}})
+	}
+	deadline := time.Now().Add(timeout)
+	for _, c := range conns {
+		done := make(chan struct{})
+		go func(c *srvConn) { c.inflight.Wait(); close(done) }(c)
+		select {
+		case <-done:
+		case <-time.After(time.Until(deadline)):
+			s.logf("wire: drain timeout with %d requests in flight on %s", c.inflightN.Load(), c.nc.RemoteAddr())
+		}
+		// Give the writer a moment to flush queued results before severing.
+		c.flushAndClose()
+	}
+	if st := s.state.Load(); st != nil {
+		st.fe.Close()
+	}
+}
+
+// Kill is the abrupt stop: listeners and connections are severed
+// immediately, mid-frame, with no GoAway — the network-visible equivalent
+// of the daemon process dying. The Server object remains reusable:
+// Attach a recovered instance and Listen again.
+func (s *Server) Kill() {
+	s.closeListeners()
+	for _, c := range s.snapshotConns() {
+		c.close()
+	}
+}
+
+// Close shuts the server down for good: Kill plus frontend retirement.
+func (s *Server) Close() {
+	s.Kill()
+	if st := s.state.Swap(nil); st != nil {
+		st.fe.Close()
+	}
+}
+
+// outMsg is one frame queued to a connection's writer; a flush sentinel
+// (nil frame, non-nil flush channel) is acknowledged by the writer once
+// every frame queued before it has been written.
+type outMsg struct {
+	h       Header
+	payload []byte
+	flush   chan struct{}
+}
+
+// srvConn is one client connection: a reader goroutine decoding pipelined
+// frames, a writer goroutine serializing responses, and one goroutine per
+// in-flight future waiting for its resolution — which is what lets results
+// complete out of order as epochs release.
+type srvConn struct {
+	s         *Server
+	nc        net.Conn
+	out       chan outMsg
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	inflight  sync.WaitGroup
+	inflightN atomic.Int32
+}
+
+func (c *srvConn) close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		c.s.mu.Lock()
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+	})
+}
+
+// flushAndClose lets the writer drain queued frames before severing (drain
+// path only; Kill severs immediately). The flush sentinel rides the out
+// channel behind every already-queued frame, so its acknowledgement means
+// those frames reached the socket.
+func (c *srvConn) flushAndClose() {
+	fl := make(chan struct{})
+	c.send(outMsg{flush: fl})
+	select {
+	case <-fl:
+	case <-c.closed:
+	case <-time.After(time.Second):
+	}
+	c.close()
+}
+
+// send queues one frame unless the connection is closed.
+func (c *srvConn) send(m outMsg) {
+	select {
+	case c.out <- m:
+	case <-c.closed:
+	}
+}
+
+func (c *srvConn) writeLoop() {
+	for {
+		select {
+		case m := <-c.out:
+			if m.flush != nil {
+				close(m.flush)
+				continue
+			}
+			if err := WriteFrame(c.nc, m.h, m.payload); err != nil {
+				c.close()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// reject answers a handshake failure with a coded GoAway and closes.
+func (c *srvConn) reject(code uint16) {
+	c.send(outMsg{h: Header{Type: FrameGoAway, Code: code}})
+	c.flushAndClose()
+}
+
+func (c *srvConn) readLoop() {
+	defer c.close()
+
+	// Handshake: exactly one Hello, answered with HelloAck carrying the
+	// negotiated version, the in-flight window, and the procedure table.
+	var buf []byte
+	h, p, err := ReadFrame(c.nc, buf)
+	if err != nil {
+		return
+	}
+	if h.Type != FrameHello {
+		c.reject(CodeBadFrame)
+		return
+	}
+	minV, maxV, err := ParseHello(p)
+	if err != nil {
+		c.reject(CodeBadFrame)
+		return
+	}
+	ver, err := NegotiateVersion(minV, maxV)
+	if err != nil {
+		c.reject(CodeBadVersion)
+		return
+	}
+	st := c.s.state.Load()
+	if st == nil || c.s.draining.Load() {
+		c.reject(CodeDraining)
+		return
+	}
+	ack := AppendHelloAck(nil, ver, uint32(c.s.cfg.Window), st.procs)
+	c.send(outMsg{h: Header{Type: FrameHelloAck, ReqID: h.ReqID}, payload: ack})
+
+	for {
+		h, p, err := ReadFrame(c.nc, buf)
+		if err != nil {
+			return
+		}
+		buf = p // frames are consumed synchronously; reuse the read buffer
+		switch h.Type {
+		case FrameSubmit:
+			c.handleSubmit(h, p)
+		case FramePing:
+			c.send(outMsg{h: Header{Type: FramePong, ReqID: h.ReqID}})
+		default:
+			c.s.logf("wire: %s: unexpected %s", c.nc.RemoteAddr(), FrameName(h.Type))
+			c.reject(CodeBadFrame)
+			return
+		}
+	}
+}
+
+// handleSubmit admits one pipelined submission. Rejections (draining,
+// window exceeded, queue full) are answered inline without executing
+// anything; admitted requests get a per-future goroutine that sends the
+// Result frame whenever the durable-commit future resolves — out of order
+// relative to other requests on the same connection.
+func (c *srvConn) handleSubmit(h Header, p []byte) {
+	st := c.s.state.Load()
+	if st == nil || c.s.draining.Load() {
+		c.send(outMsg{h: Header{Type: FrameResult, Code: CodeDraining, ReqID: h.ReqID}})
+		return
+	}
+	procID, args, err := ParseSubmit(p)
+	if err != nil {
+		c.send(outMsg{h: Header{Type: FrameResult, Code: CodeBadFrame, ReqID: h.ReqID},
+			payload: AppendResultErr(nil, err.Error())})
+		return
+	}
+	if int(procID) >= len(st.procs) {
+		c.send(outMsg{h: Header{Type: FrameResult, Code: CodeUnknownProc, ReqID: h.ReqID},
+			payload: AppendResultErr(nil, fmt.Sprintf("proc id %d outside table of %d", procID, len(st.procs)))})
+		return
+	}
+	if int(c.inflightN.Load()) >= c.s.cfg.Window {
+		c.backpressure(h.ReqID, st)
+		return
+	}
+	name := st.procs[procID]
+	var fut *pacman.Future
+	var ok bool
+	if h.Flags&FlagAdHoc != 0 {
+		fut, ok = st.fe.TrySubmitAdHoc(name, args)
+	} else {
+		fut, ok = st.fe.TrySubmit(name, args)
+	}
+	if fut == nil {
+		// Queue full: the request was never executed — backpressure, the
+		// client retries. This is the admission-control path that keeps a
+		// saturated Frontend from either blocking the reader (head-of-line
+		// stalling every pipelined request) or dropping the connection.
+		c.backpressure(h.ReqID, st)
+		return
+	}
+	_ = ok // !ok with a non-nil future carries a terminal error; respond normally
+	c.inflightN.Add(1)
+	c.inflight.Add(1)
+	go c.respond(h.ReqID, fut)
+}
+
+func (c *srvConn) backpressure(reqID uint64, st *feState) {
+	c.send(outMsg{
+		h:       Header{Type: FrameBackpressure, Code: CodeBackpressure, ReqID: reqID},
+		payload: AppendBackpressure(nil, uint32(st.fe.QueueDepth()), uint32(st.fe.QueueCap())),
+	})
+}
+
+// respond waits one future out and sends its Result frame.
+func (c *srvConn) respond(reqID uint64, fut *pacman.Future) {
+	defer c.inflight.Done()
+	defer c.inflightN.Add(-1)
+	ts, err := fut.Wait()
+	code, msg := ErrorCode(err)
+	h := Header{Type: FrameResult, Code: code, ReqID: reqID}
+	if code == CodeOK {
+		c.send(outMsg{h: h, payload: AppendResultOK(nil, uint64(ts))})
+		return
+	}
+	c.send(outMsg{h: h, payload: AppendResultErr(nil, msg)})
+}

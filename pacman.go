@@ -120,9 +120,29 @@ const (
 	Pipelined   = sched.Pipelined
 )
 
+// Argument helpers, re-exported so applications (and pacmand wire clients)
+// can build Args without importing the internal packages: each parameter is
+// a value list, so Args{A(I(7)), A(I(100))} invokes a two-parameter
+// procedure with single values.
+
+// A wraps one value as a single-valued parameter.
+func A(v Value) []Value { return proc.A(v) }
+
+// I makes an integer column value.
+func I(v int64) Value { return tuple.I(v) }
+
+// F makes a float column value.
+func F(v float64) Value { return tuple.F(v) }
+
+// S makes a string column value.
+func S(v string) Value { return tuple.S(v) }
+
 // Options configures a database instance.
 type Options struct {
-	// Logging selects the durability scheme (default CommandLogging).
+	// Logging selects the durability scheme. The zero value is NoLogging:
+	// commits acknowledge without touching the devices and the instance
+	// cannot be recovered — set CommandLogging (the paper's default),
+	// PhysicalLogging, or LogicalLogging for durability.
 	Logging LogKind
 	// Devices is the number of simulated storage devices (default 2, like
 	// the paper's two-SSD setup). Ignored when ExistingDevices is set.
@@ -402,6 +422,18 @@ func (d *DB) catalogManifest() *wal.CatalogManifest {
 
 // GDGraph returns the dependency graph built at Start (nil before Start).
 func (d *DB) GDGraph() *GDG { return d.gdg }
+
+// Procedures returns the registered procedure names in registration order —
+// the order that assigns procedure IDs, both in command logs and in the
+// wire protocol's HelloAck procedure table (index == proc id).
+func (d *DB) Procedures() []string {
+	all := d.reg.All()
+	names := make([]string, len(all))
+	for i, c := range all {
+		names[i] = c.Name()
+	}
+	return names
+}
 
 // Devices returns the storage devices (pass them to a recovering instance).
 func (d *DB) Devices() []*Device { return d.devices }
