@@ -61,6 +61,13 @@ type Config struct {
 	// BackoffMin/BackoffMax bound the reconnect and backpressure-retry
 	// backoff (defaults 5ms and 1s).
 	BackoffMin, BackoffMax time.Duration
+	// KeepAlive, when positive, probes idle connections with wire Pings at
+	// this cadence: if a whole further interval passes with no frame from
+	// the server, the link is failed (in-flight futures resolve ErrConnLost)
+	// and redialed. This is how a shard router notices a dead or wedged
+	// shard without waiting for a Submit to time out. Zero disables
+	// keepalive (the default).
+	KeepAlive time.Duration
 	// Logf, when set, receives connection-lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -148,6 +155,7 @@ type call struct {
 	name     string
 	args     proc.Args
 	adHoc    bool
+	frame    uint8 // FrameSubmit (zero value defaults to it), FramePrepare, or FrameDecide
 	reqID    uint64
 	attempts int
 }
@@ -164,6 +172,10 @@ type link struct {
 	downed bool
 
 	wmu sync.Mutex // serializes frame writes
+
+	// lastRecv is when the last frame (any type) arrived, as unix nanos;
+	// the keepalive prober treats it as proof of peer liveness.
+	lastRecv atomic.Int64
 
 	pmu      sync.Mutex
 	pending  map[uint64]*call
@@ -256,8 +268,48 @@ func (c *Client) connect() (*link, error) {
 	for i, name := range procs {
 		l.procs[name] = uint32(i)
 	}
+	l.lastRecv.Store(time.Now().UnixNano())
 	go c.readLoop(l)
+	if c.cfg.KeepAlive > 0 {
+		go c.keepalive(l)
+	}
 	return l, nil
+}
+
+// keepalive probes an idle link with Pings. Any inbound frame counts as
+// liveness (a busy connection never pings); a full interval of silence
+// after a probe fails the link, which resolves in-flight futures with
+// ErrConnLost and wakes the redial loop — so a dead shard surfaces on the
+// keepalive cadence instead of a future Submit's timeout.
+func (c *Client) keepalive(l *link) {
+	t := time.NewTicker(c.cfg.KeepAlive)
+	defer t.Stop()
+	awaiting := false
+	for {
+		select {
+		case <-l.down:
+			return
+		case <-t.C:
+			idle := time.Since(time.Unix(0, l.lastRecv.Load()))
+			if idle < c.cfg.KeepAlive {
+				awaiting = false
+				continue
+			}
+			if awaiting {
+				c.logf("client: keepalive timeout on %s after %v silence; failing link", c.addr, idle)
+				l.fail()
+				return
+			}
+			awaiting = true
+			l.wmu.Lock()
+			err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FramePing, ReqID: c.nextReq.Add(1)}, nil)
+			l.wmu.Unlock()
+			if err != nil {
+				l.fail()
+				return
+			}
+		}
+	}
 }
 
 // maintain owns the link lifecycle: whenever the current link dies, dial a
@@ -341,6 +393,7 @@ func (c *Client) readLoop(l *link) {
 			return
 		}
 		buf = p
+		l.lastRecv.Store(time.Now().UnixNano())
 		switch h.Type {
 		case wire.FrameResult:
 			l.pmu.Lock()
@@ -421,6 +474,27 @@ func (c *Client) SubmitAdHoc(name string, args pacman.Args) *Future {
 	return c.submit(name, args, true)
 }
 
+// Prepare sends phase one of a cross-shard commit: the named 2PC piece
+// executes as a distributed transaction (value-logged), and the returned
+// future resolves nil only when its effects are durable at the server's
+// pepoch — the prepare ack a coordinator's commit decision may rely on.
+// Shard routers call this; ordinary applications use Submit.
+func (c *Client) Prepare(name string, args pacman.Args) *Future {
+	cl := &call{fut: newFuture(), name: name, args: args, frame: wire.FramePrepare, reqID: c.nextReq.Add(1)}
+	c.dispatch(cl)
+	return cl.fut
+}
+
+// Decide sends phase two of a cross-shard commit: the commit-apply or
+// abort-release piece for a decided transaction. Decide pieces gate on the
+// participant's 2PC status row, so re-delivery during presumed-abort
+// recovery is safe.
+func (c *Client) Decide(name string, args pacman.Args) *Future {
+	cl := &call{fut: newFuture(), name: name, args: args, frame: wire.FrameDecide, reqID: c.nextReq.Add(1)}
+	c.dispatch(cl)
+	return cl.fut
+}
+
 func (c *Client) submit(name string, args pacman.Args, adHoc bool) *Future {
 	cl := &call{fut: newFuture(), name: name, args: args, adHoc: adHoc, reqID: c.nextReq.Add(1)}
 	c.dispatch(cl)
@@ -470,9 +544,13 @@ func (c *Client) dispatch(cl *call) {
 		if cl.adHoc {
 			flags = wire.FlagAdHoc
 		}
+		frame := cl.frame
+		if frame == 0 {
+			frame = wire.FrameSubmit
+		}
 		payload := wire.AppendSubmit(nil, procID, cl.args)
 		l.wmu.Lock()
-		err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FrameSubmit, Flags: flags, ReqID: cl.reqID}, payload)
+		err := wire.WriteFrame(l.nc, wire.Header{Type: frame, Flags: flags, ReqID: cl.reqID}, payload)
 		l.wmu.Unlock()
 		if err != nil {
 			// The frame is written with a single Write, which errors only

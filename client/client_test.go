@@ -231,3 +231,63 @@ func TestClientDrainAndClose(t *testing.T) {
 		t.Fatalf("post-close exec: %v", err)
 	}
 }
+
+// TestClientKeepAliveDetectsStalledServer handshakes against a fake server
+// that then goes silent — it accepts frames into the kernel buffer but
+// never answers anything, the wedged-peer case a dead TCP connection never
+// exercises. With KeepAlive on, the client must ping, miss the answer,
+// fail the link (resolving the in-flight future ErrConnLost) — all without
+// a Submit ever timing out on its own.
+func TestClientKeepAliveDetectsStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Fake server: complete the PAC1 handshake, then stall forever.
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		h, p, err := wire.ReadFrame(nc, nil)
+		if err != nil || h.Type != wire.FrameHello {
+			nc.Close()
+			return
+		}
+		if _, _, err := wire.ParseHello(p); err != nil {
+			nc.Close()
+			return
+		}
+		ack := wire.AppendHelloAck(nil, wire.V1, wire.DefaultWindow, []string{"Deposit"})
+		wire.WriteFrame(nc, wire.Header{Type: wire.FrameHelloAck}, ack)
+		// Stall: never read, never write again. Keep nc open so the TCP
+		// stack gives the client no error of its own.
+		select {}
+	}()
+
+	const interval = 20 * time.Millisecond
+	c, err := client.Dial("tcp", ln.Addr().String(), client.Config{
+		Window: 4, KeepAlive: interval,
+		DialTimeout: time.Second, BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fut := c.Submit("Deposit", depositArgs(1, 1))
+
+	// The prober needs one idle interval to send the Ping and one more to
+	// miss the Pong; anything beyond ~5 intervals means keepalive is not
+	// doing its job.
+	select {
+	case <-fut.Done():
+	case <-time.After(10 * interval):
+		t.Fatal("keepalive did not fail the stalled link")
+	}
+	if _, err := fut.Wait(); !errors.Is(err, client.ErrConnLost) {
+		t.Fatalf("stalled-link future: want ErrConnLost, got %v", err)
+	}
+}

@@ -44,6 +44,7 @@ var experiments = map[string]func(io.Writer, harness.Scale) error{
 	"restart":    restartSmoke,
 	"torture":    tortureExp,
 	"net":        netExp,
+	"shard":      shardExp,
 }
 
 // benchResult is the machine-readable record one experiment run emits when
@@ -74,7 +75,7 @@ func writeJSON(dir, id string, res benchResult) error {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, restart, torture, net, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, restart, torture, net, shard, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")

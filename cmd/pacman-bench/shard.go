@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman"
+	"pacman/client"
+	"pacman/internal/harness"
+	"pacman/internal/shard"
+	"pacman/internal/simdisk"
+	"pacman/internal/wire"
+)
+
+// shardExp benches the sharded cluster end to end on loopback TCP: N shard
+// instances behind wire servers, a pacman-router in front, and every
+// transaction submitted through the router — so the numbers include the
+// routing hop and, for cross-shard traffic, the full epoch-aligned 2PC
+// round (prepare durable at each participant, decision logged, decides
+// delivered). Two series:
+//
+//   - aggregate throughput at 1/2/4 shards under pure single-shard traffic
+//     (the scaling claim: adding shards multiplies serving capacity);
+//   - a cross-shard ratio sweep at 2 shards (0/5/20% of submissions are
+//     cross-shard payments) documenting what the 2PC round costs.
+//
+// Each shard's devices are bandwidth-throttled the same way the logging
+// experiments scale their SSDs, so the per-shard commit pipeline — not the
+// shared benchmark process — is the ceiling that sharding multiplies.
+func shardExp(w io.Writer, s harness.Scale) error {
+	dur := s.Duration
+	fmt.Fprintln(w, "=== Sharded cluster: aggregate throughput scaling and cross-shard 2PC cost ===")
+	fmt.Fprintf(w, "smallbank/CL through pacman-router on loopback tcp, %v per cell\n", dur)
+
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		tps, err := shardCell(s, n, 0, dur)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", n, err)
+		}
+		if n == 1 {
+			base = tps
+			fmt.Fprintf(w, "shards=%d cross=0%%: %8.0f tps\n", n, tps)
+		} else {
+			fmt.Fprintf(w, "shards=%d cross=0%%: %8.0f tps (%.2fx one shard)\n", n, tps, tps/base)
+		}
+	}
+
+	fmt.Fprintln(w, "cross-shard ratio sweep at 2 shards (2PC cost):")
+	for _, pct := range []int{0, 5, 20} {
+		tps, err := shardCell(s, 2, pct, dur)
+		if err != nil {
+			return fmt.Errorf("cross=%d%%: %w", pct, err)
+		}
+		fmt.Fprintf(w, "shards=2 cross=%2d%%: %8.0f tps\n", pct, tps)
+	}
+	return nil
+}
+
+// shardCell measures one cell: aggregate durable-ack throughput of a
+// `shards`-wide cluster where crossPct percent of submissions are
+// cross-shard SendPayments and the rest single-shard deposits.
+func shardCell(s harness.Scale, shards, crossPct int, dur time.Duration) (float64, error) {
+	const customers = 8192
+	cluster := shard.NewSmallbankCluster(shard.Config{Shards: shards, Customers: customers})
+	opts := func() pacman.Options {
+		return cluster.ShardOptions(pacman.Options{
+			Logging:       pacman.CommandLogging,
+			Devices:       2,
+			DeviceConfig:  harness.ScaledSSD(),
+			EpochInterval: time.Millisecond,
+		})
+	}
+
+	dbs := make([]*pacman.DB, shards)
+	srvs := make([]*wire.Server, shards)
+	addrs := make([]string, shards)
+	for i := range dbs {
+		db, err := pacman.Launch(cluster.ShardBlueprint(i), opts())
+		if err != nil {
+			return 0, err
+		}
+		srv := wire.NewServer(wire.ServerConfig{Workers: s.Workers, Queue: 64 * s.Workers})
+		if err := srv.Attach(db); err != nil {
+			return 0, err
+		}
+		bound, err := srv.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		dbs[i], srvs[i], addrs[i] = db, srv, bound.String()
+	}
+	defer func() {
+		for _, srv := range srvs {
+			srv.Close()
+		}
+		for _, db := range dbs {
+			db.Close()
+		}
+	}()
+
+	multi, err := client.DialMulti("tcp", addrs, client.Config{Window: 256})
+	if err != nil {
+		return 0, err
+	}
+	router, err := shard.NewRouter(cluster, multi, simdisk.New("router-2pc", simdisk.Config{}), shard.RouterConfig{QueueCap: 2048})
+	if err != nil {
+		return 0, err
+	}
+	defer router.Close()
+	rsrv := wire.NewServer(wire.ServerConfig{})
+	rsrv.AttachBackend(router)
+	bound, err := rsrv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer rsrv.Close()
+
+	// Offered load: enough pipelined windows to keep every configuration's
+	// shards saturated, so the measured rate is capacity, not load.
+	nClients, window := 8, 64
+	var (
+		committed atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial("tcp", bound.String(), client.Config{Window: window})
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(c)*7919 + 1))
+			inflight := make([]*client.Future, 0, window)
+			reap := func(f *client.Future) {
+				if _, err := f.Wait(); err == nil {
+					committed.Add(1)
+				}
+			}
+			for !stop.Load() {
+				var fut *client.Future
+				if shards > 1 && rng.Intn(100) < crossPct {
+					// Cross-shard payment: both halves of the customer range,
+					// so the debit and credit land on different shards.
+					half := int64(customers / shards)
+					c1 := 1 + rng.Int63n(half)
+					c2 := half*int64(1+rng.Intn(shards-1)) + 1 + rng.Int63n(half)
+					fut = cl.Submit("SendPayment", pacman.Args{
+						pacman.A(pacman.I(c1)), pacman.A(pacman.I(c2)),
+						pacman.A(pacman.F(float64(1 + rng.Int63n(49)))),
+					})
+				} else {
+					c1 := 1 + rng.Int63n(customers)
+					fut = cl.Submit("DepositChecking", pacman.Args{
+						pacman.A(pacman.I(c1)), pacman.A(pacman.F(float64(1 + rng.Int63n(99)))),
+					})
+				}
+				inflight = append(inflight, fut)
+				if len(inflight) == window {
+					reap(inflight[0])
+					inflight = inflight[1:]
+				}
+			}
+			for _, f := range inflight {
+				reap(f)
+			}
+		}(c)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(committed.Load()) / elapsed.Seconds(), nil
+}

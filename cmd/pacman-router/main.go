@@ -1,0 +1,115 @@
+// pacman-router is the cluster routing coordinator: it speaks PAC1 to
+// clients on its frontside and to a set of pacmand shard daemons on its
+// backside (docs/PROTOCOL.md, "Cross-shard commit frames"). Single-shard
+// invocations are forwarded untouched to the owning shard; cross-shard
+// ones run the epoch-aligned two-phase commit with the coordinator's
+// decision log on a local simulated device, so a restarted router settles
+// every in-doubt transaction before serving.
+//
+// The shard daemons must be pacmand processes launched as cluster members
+// with matching sizing, e.g. a 2-shard Smallbank cluster:
+//
+//	pacmand -tcp 127.0.0.1:7741 -shards 2 -shard 0
+//	pacmand -tcp 127.0.0.1:7742 -shards 2 -shard 1
+//	pacman-router -tcp 127.0.0.1:7733 -cluster 127.0.0.1:7741,127.0.0.1:7742
+//
+// Clients then dial the router exactly as they would a single pacmand.
+// On SIGINT/SIGTERM the router drains its frontside and closes the shard
+// links; a second signal exits immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pacman/client"
+	"pacman/internal/shard"
+	"pacman/internal/simdisk"
+	"pacman/internal/wire"
+)
+
+func main() {
+	tcp := flag.String("tcp", "127.0.0.1:7733", "frontside TCP listen address (empty to disable)")
+	unix := flag.String("unix", "", "frontside unix socket path (empty to disable)")
+	clusterAddrs := flag.String("cluster", "", "comma-separated shard endpoints, in shard order (required)")
+	network := flag.String("network", "tcp", "network the shard endpoints speak: tcp or unix")
+	customers := flag.Int("customers", 0, "smallbank customer count (must match the shards'; 0 = workload default)")
+	queue := flag.Int("queue", 0, "concurrent-dispatch cap (full => backpressure frames; 0 = default)")
+	window := flag.Int("window", wire.DefaultWindow, "per-connection in-flight window granted in HelloAck")
+	backWindow := flag.Int("back-window", wire.DefaultWindow, "per-shard backside pipeline window")
+	keepAlive := flag.Duration("keepalive", 250*time.Millisecond, "backside idle-link ping interval (0 to disable)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight futures on shutdown")
+	verbose := flag.Bool("v", false, "log routing and 2PC diagnostics")
+	flag.Parse()
+
+	if *tcp == "" && *unix == "" {
+		log.Fatal("pacman-router: nothing to listen on (set -tcp and/or -unix)")
+	}
+	addrs := strings.Split(*clusterAddrs, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if *clusterAddrs == "" || len(addrs) == 0 {
+		log.Fatal("pacman-router: -cluster requires at least one shard endpoint")
+	}
+
+	cluster := shard.NewSmallbankCluster(shard.Config{Shards: len(addrs), Customers: *customers})
+	multi, err := client.DialMulti(*network, addrs, client.Config{
+		Window:    *backWindow,
+		KeepAlive: *keepAlive,
+	})
+	if err != nil {
+		log.Fatalf("pacman-router: dialing shards: %v", err)
+	}
+
+	rcfg := shard.RouterConfig{QueueCap: *queue}
+	if *verbose {
+		rcfg.Logf = log.Printf
+	}
+	router, err := shard.NewRouter(cluster, multi, simdisk.New("router", simdisk.Config{}), rcfg)
+	if err != nil {
+		log.Fatalf("pacman-router: %v", err)
+	}
+
+	scfg := wire.ServerConfig{Window: *window}
+	if *verbose {
+		scfg.Logf = log.Printf
+	}
+	srv := wire.NewServer(scfg)
+	srv.AttachBackend(router)
+	if *tcp != "" {
+		addr, err := srv.Listen("tcp", *tcp)
+		if err != nil {
+			log.Fatalf("pacman-router: listen tcp: %v", err)
+		}
+		log.Printf("pacman-router: routing %d shards on tcp %s", len(addrs), addr)
+	}
+	if *unix != "" {
+		addr, err := srv.Listen("unix", *unix)
+		if err != nil {
+			log.Fatalf("pacman-router: listen unix: %v", err)
+		}
+		log.Printf("pacman-router: routing %d shards on unix %s", len(addrs), addr)
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	log.Printf("pacman-router: %v: draining (up to %v)...", sig, *drainTimeout)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "pacman-router: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+	srv.Drain(*drainTimeout) // closes the router backend, which closes the shard links
+	if *unix != "" {
+		os.Remove(*unix)
+	}
+	log.Printf("pacman-router: drained, bye")
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pacman"
+	"pacman/internal/shard"
 	"pacman/internal/wire"
 	"pacman/internal/workload"
 )
@@ -46,6 +47,9 @@ func main() {
 	workers := flag.Int("workers", 4, "frontend session-pool size")
 	queue := flag.Int("queue", 0, "admission queue capacity (default 4x workers; full queue => backpressure frames)")
 	window := flag.Int("window", wire.DefaultWindow, "per-connection in-flight window granted in HelloAck")
+	shards := flag.Int("shards", 0, "cluster width: launch this daemon as one member of an N-shard smallbank cluster (0 = standalone)")
+	shardIdx := flag.Int("shard", 0, "this daemon's shard index in [0, shards)")
+	customers := flag.Int("customers", 0, "smallbank customer count for cluster members (0 = workload default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight futures on shutdown")
 	verbose := flag.Bool("v", false, "log connection-level diagnostics")
 	flag.Parse()
@@ -66,26 +70,46 @@ func main() {
 		log.Fatalf("pacmand: unknown -logging %q", *logging)
 	}
 
-	var spec workload.BlueprintSpec
-	switch *wk {
-	case "smallbank":
-		spec = workload.Spec(workload.NewSmallbank(workload.DefaultSmallbankConfig()))
-	case "tpcc":
-		cfg := workload.DefaultTPCCConfig()
-		cfg.DisableInserts = true
-		spec = workload.Spec(workload.NewTPCC(cfg))
-	case "bank":
-		spec = workload.Spec(workload.NewBank(1000))
-	default:
-		log.Fatalf("pacmand: unknown -workload %q", *wk)
-	}
-	bp := pacman.Blueprint{Tables: spec.Tables, Procedures: spec.Procs, Seed: spec.Seed}
-
-	db, err := pacman.Launch(bp, pacman.Options{
+	opts := pacman.Options{
 		Logging:       kind,
 		Devices:       *devices,
 		EpochInterval: *epoch,
-	})
+	}
+	var bp pacman.Blueprint
+	served := *wk
+	if *shards > 0 {
+		// Cluster member: the blueprint (2PC status table and pieces
+		// included) and the adaptive-logging policy come from the cluster
+		// description, and the seed covers only this shard's partition.
+		// The router in front (pacman-router) must be sized identically.
+		if *wk != "smallbank" {
+			log.Fatalf("pacmand: sharded clusters serve smallbank, not %q", *wk)
+		}
+		if *shardIdx < 0 || *shardIdx >= *shards {
+			log.Fatalf("pacmand: -shard %d out of range [0, %d)", *shardIdx, *shards)
+		}
+		cluster := shard.NewSmallbankCluster(shard.Config{Shards: *shards, Customers: *customers})
+		bp = cluster.ShardBlueprint(*shardIdx)
+		opts = cluster.ShardOptions(opts)
+		served = fmt.Sprintf("smallbank shard %d/%d", *shardIdx, *shards)
+	} else {
+		var spec workload.BlueprintSpec
+		switch *wk {
+		case "smallbank":
+			spec = workload.Spec(workload.NewSmallbank(workload.DefaultSmallbankConfig()))
+		case "tpcc":
+			cfg := workload.DefaultTPCCConfig()
+			cfg.DisableInserts = true
+			spec = workload.Spec(workload.NewTPCC(cfg))
+		case "bank":
+			spec = workload.Spec(workload.NewBank(1000))
+		default:
+			log.Fatalf("pacmand: unknown -workload %q", *wk)
+		}
+		bp = pacman.Blueprint{Tables: spec.Tables, Procedures: spec.Procs, Seed: spec.Seed}
+	}
+
+	db, err := pacman.Launch(bp, opts)
 	if err != nil {
 		log.Fatalf("pacmand: launch: %v", err)
 	}
@@ -103,14 +127,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("pacmand: listen tcp: %v", err)
 		}
-		log.Printf("pacmand: serving %s (%v) on tcp %s", *wk, kind, addr)
+		log.Printf("pacmand: serving %s (%v) on tcp %s", served, kind, addr)
 	}
 	if *unix != "" {
 		addr, err := srv.Listen("unix", *unix)
 		if err != nil {
 			log.Fatalf("pacmand: listen unix: %v", err)
 		}
-		log.Printf("pacmand: serving %s (%v) on unix %s", *wk, kind, addr)
+		log.Printf("pacmand: serving %s (%v) on unix %s", served, kind, addr)
 	}
 
 	sigCh := make(chan os.Signal, 2)

@@ -75,17 +75,37 @@ func (f *Frontend) SubmitAdHoc(name string, args Args) *Future {
 	return f.submit(name, args, true)
 }
 
+// SubmitDist is Submit for distributed transactions — the 2PC pieces a
+// shard router drives a cross-shard commit through. Their effects are
+// logged as values even under command logging, so this shard's replay
+// never re-executes them (their inputs may have come from another shard).
+func (f *Frontend) SubmitDist(name string, args Args) *Future {
+	c := f.d.reg.ByName(name)
+	if c == nil {
+		return unknownProc(name)
+	}
+	return f.fe.SubmitDist(c, args)
+}
+
 func (f *Frontend) submit(name string, args Args, adHoc bool) *Future {
 	c := f.d.reg.ByName(name)
 	if c == nil {
-		fut := txn.NewFuture(time.Now())
-		fut.Resolve(time.Now(), fmt.Errorf("pacman: unknown procedure %q", name))
-		return fut
+		return unknownProc(name)
+	}
+	if f.d.valueLog[name] {
+		// Adaptive logging policy: this procedure always logs values.
+		return f.fe.SubmitDist(c, args)
 	}
 	if adHoc {
 		return f.fe.SubmitAdHoc(c, args)
 	}
 	return f.fe.Submit(c, args)
+}
+
+func unknownProc(name string) *Future {
+	fut := txn.NewFuture(time.Now())
+	fut.Resolve(time.Now(), fmt.Errorf("pacman: unknown procedure %q", name))
+	return fut
 }
 
 // TrySubmit is the non-blocking admission variant of Submit: it returns
@@ -103,12 +123,25 @@ func (f *Frontend) TrySubmitAdHoc(name string, args Args) (*Future, bool) {
 	return f.trySubmit(name, args, true)
 }
 
+// TrySubmitDist is TrySubmit for distributed transactions (2PC pieces; see
+// SubmitDist). pacmand's wire server routes Prepare/Decide frames here.
+func (f *Frontend) TrySubmitDist(name string, args Args) (*Future, bool) {
+	c := f.d.reg.ByName(name)
+	if c == nil {
+		fut := unknownProc(name)
+		return fut, false
+	}
+	return f.fe.TrySubmitDist(c, args)
+}
+
 func (f *Frontend) trySubmit(name string, args Args, adHoc bool) (*Future, bool) {
 	c := f.d.reg.ByName(name)
 	if c == nil {
-		fut := txn.NewFuture(time.Now())
-		fut.Resolve(time.Now(), fmt.Errorf("pacman: unknown procedure %q", name))
+		fut := unknownProc(name)
 		return fut, false
+	}
+	if f.d.valueLog[name] {
+		return f.fe.TrySubmitDist(c, args)
 	}
 	return f.fe.TrySubmit(c, args, adHoc)
 }

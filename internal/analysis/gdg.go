@@ -353,10 +353,10 @@ func buildPieceDef(c *proc.Compiled, block int, ops []int) *PieceDef {
 // buildTableOwners records, for every table modified by any procedure, the
 // unique block holding its writers.
 func (g *GDG) buildTableOwners() {
-	for pi, l := range g.LDGs {
-		for _, piece := range g.pieces[pi] {
+	for _, pieces := range g.pieces {
+		for _, piece := range pieces {
 			for _, opID := range piece.Ops {
-				op := l.Proc.Op(opID)
+				op := piece.Proc.Op(opID)
 				if op.Kind.IsModification() {
 					if prev, ok := g.tableOwner[op.TableID]; ok && prev != piece.Block {
 						// Impossible by construction; guard against slicer bugs.

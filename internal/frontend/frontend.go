@@ -54,6 +54,7 @@ type request struct {
 	p     *proc.Compiled
 	args  proc.Args
 	adHoc bool
+	dist  bool
 	fut   *txn.Future
 }
 
@@ -142,7 +143,11 @@ func (f *Frontend) run(w *txn.Worker) {
 }
 
 func (f *Frontend) handle(w *txn.Worker, r request) {
-	w.ExecuteFuture(r.fut, r.p, r.args, r.adHoc)
+	if r.dist {
+		w.ExecuteFutureDist(r.fut, r.p, r.args)
+	} else {
+		w.ExecuteFuture(r.fut, r.p, r.args, r.adHoc)
+	}
 	f.executed.Add(1)
 }
 
@@ -150,16 +155,23 @@ func (f *Frontend) handle(w *txn.Worker, r request) {
 // blocks only for queue space (backpressure), never for execution or
 // durability. On a closed frontend the future resolves with ErrClosed.
 func (f *Frontend) Submit(p *proc.Compiled, args proc.Args) *txn.Future {
-	return f.submit(p, args, false)
+	return f.submit(request{p: p, args: args})
 }
 
 // SubmitAdHoc is Submit for ad-hoc transactions (tuple-level logging even
 // under command logging, Section 4.5).
 func (f *Frontend) SubmitAdHoc(p *proc.Compiled, args proc.Args) *txn.Future {
-	return f.submit(p, args, true)
+	return f.submit(request{p: p, args: args, adHoc: true})
 }
 
-func (f *Frontend) submit(p *proc.Compiled, args proc.Args, adHoc bool) *txn.Future {
+// SubmitDist is Submit for distributed transactions (2PC pieces): value
+// logging even under command logging, like SubmitAdHoc, but tagged as part
+// of a cross-shard commit.
+func (f *Frontend) SubmitDist(p *proc.Compiled, args proc.Args) *txn.Future {
+	return f.submit(request{p: p, args: args, dist: true})
+}
+
+func (f *Frontend) submit(r request) *txn.Future {
 	fut := txn.NewFuture(time.Now())
 	f.closeMu.RLock()
 	if f.closed.Load() {
@@ -170,8 +182,9 @@ func (f *Frontend) submit(p *proc.Compiled, args proc.Args, adHoc bool) *txn.Fut
 	f.submitWG.Add(1)
 	f.closeMu.RUnlock()
 	defer f.submitWG.Done()
+	r.fut = fut
 	select {
-	case f.reqs <- request{p: p, args: args, adHoc: adHoc, fut: fut}:
+	case f.reqs <- r:
 	case <-f.closing:
 		fut.Resolve(time.Now(), ErrClosed)
 	}
@@ -186,6 +199,17 @@ func (f *Frontend) submit(p *proc.Compiled, args proc.Args, adHoc bool) *txn.Fut
 // queue into a backpressure frame instead of blocking the connection's
 // reader goroutine.
 func (f *Frontend) TrySubmit(p *proc.Compiled, args proc.Args, adHoc bool) (*txn.Future, bool) {
+	return f.try(request{p: p, args: args, adHoc: adHoc})
+}
+
+// TrySubmitDist is TrySubmit for distributed transactions (2PC pieces of a
+// cross-shard commit): the commit record is marked Dist so the loggers emit
+// a value record even under command logging.
+func (f *Frontend) TrySubmitDist(p *proc.Compiled, args proc.Args) (*txn.Future, bool) {
+	return f.try(request{p: p, args: args, dist: true})
+}
+
+func (f *Frontend) try(r request) (*txn.Future, bool) {
 	fut := txn.NewFuture(time.Now())
 	f.closeMu.RLock()
 	if f.closed.Load() {
@@ -196,8 +220,9 @@ func (f *Frontend) TrySubmit(p *proc.Compiled, args proc.Args, adHoc bool) (*txn
 	f.submitWG.Add(1)
 	f.closeMu.RUnlock()
 	defer f.submitWG.Done()
+	r.fut = fut
 	select {
-	case f.reqs <- request{p: p, args: args, adHoc: adHoc, fut: fut}:
+	case f.reqs <- r:
 		return fut, true
 	case <-f.closing:
 		fut.Resolve(time.Now(), ErrClosed)

@@ -1,0 +1,332 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman"
+	"pacman/client"
+	"pacman/internal/proc"
+	"pacman/internal/simdisk"
+	"pacman/internal/wire"
+)
+
+// RouterConfig tunes a Router. The zero value of every field has a working
+// default.
+type RouterConfig struct {
+	// QueueCap bounds concurrently dispatched requests; beyond it the
+	// router's frontside answers with backpressure (default 1024).
+	QueueCap int
+	// RetryBackoff paces decide re-delivery to a shard that is down or
+	// restarting (default 5ms).
+	RetryBackoff time.Duration
+	// Logf, when set, receives routing and 2PC diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Router is the cluster's routing coordinator. Frontside it implements
+// wire.Backend, so a wire.Server attached to it speaks ordinary PAC1 to
+// clients; backside it holds one pipelined client per shard (a
+// client.Multi, ideally dialed with KeepAlive so dead shards surface
+// fast). Single-shard invocations are forwarded untouched; cross-shard
+// ones run the epoch-aligned two-phase commit, with the decision log on
+// dev making the router itself crash-recoverable.
+//
+// The Router takes ownership of the Multi: Close closes it.
+type Router struct {
+	cluster *Cluster
+	multi   *client.Multi
+	log     *coordLog
+	cfg     RouterConfig
+
+	nextGTID atomic.Uint64
+	inflight atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// ErrRouterClosed resolves requests dispatched to (or in flight on) a
+// closed router.
+var ErrRouterClosed = errors.New("shard: router closed")
+
+// NewRouter builds the coordinator over an already-dialed Multi (one
+// endpoint per shard, in shard order) and a decision-log device. Before
+// returning it resolves every in-doubt transaction found in the decision
+// log — aborting undecided ones, re-delivering decided commits — so no
+// shard is left with a dangling prepare from a previous router
+// incarnation.
+func NewRouter(c *Cluster, multi *client.Multi, dev *simdisk.Device, cfg RouterConfig) (*Router, error) {
+	if multi.Len() != c.cfg.Shards {
+		return nil, fmt.Errorf("shard: cluster has %d shards but %d endpoints dialed", c.cfg.Shards, multi.Len())
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	log, pending, maxGTID, err := openCoordLog(dev)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{cluster: c, multi: multi, log: log, cfg: cfg}
+	r.nextGTID.Store(maxGTID)
+	for _, p := range pending {
+		phase := abortOf
+		verdict := "presumed abort"
+		if p.committed {
+			phase = commitOf
+			verdict = "re-delivering commit"
+		}
+		r.logf("shard: recovering gtid %d: %s", p.g.GTID, verdict)
+		if _, err := r.deliver(p.g, phase); err != nil {
+			return nil, fmt.Errorf("shard: resolving in-doubt gtid %d: %w", p.g.GTID, err)
+		}
+		if err := r.log.End(p.g.GTID); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// future is the router's durable-outcome handle, satisfying wire.Waiter.
+type future struct {
+	done chan struct{}
+	ts   pacman.TS
+	err  error
+}
+
+func newRouterFuture() *future { return &future{done: make(chan struct{})} }
+
+func (f *future) resolve(ts pacman.TS, err error) {
+	f.ts, f.err = ts, err
+	close(f.done)
+}
+
+// Wait blocks until the routed request's outcome is known.
+func (f *future) Wait() (pacman.TS, error) {
+	<-f.done
+	return f.ts, f.err
+}
+
+// errFuture returns an already-resolved future.
+func errFuture(err error) *future {
+	f := newRouterFuture()
+	f.resolve(0, err)
+	return f
+}
+
+// Procs implements wire.Backend: clients see the base workload's
+// procedures, not the 2PC pieces.
+func (r *Router) Procs() []string { return r.cluster.Public() }
+
+// QueueDepth implements wire.Backend.
+func (r *Router) QueueDepth() int { return int(r.inflight.Load()) }
+
+// QueueCap implements wire.Backend.
+func (r *Router) QueueCap() int { return r.cfg.QueueCap }
+
+// Close implements wire.Backend: it stops admitting, severs the backside
+// links (resolving in-flight futures), and waits the dispatch goroutines
+// out.
+func (r *Router) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	r.multi.Close()
+	r.wg.Wait()
+}
+
+// TrySubmit implements wire.Backend. The blocking parts of a dispatch —
+// the per-shard client windows, the 2PC phases — ride a goroutine so the
+// server's read loop never stalls; admission control is the QueueCap.
+func (r *Router) TrySubmit(mode wire.SubmitMode, name string, args pacman.Args) (wire.Waiter, bool) {
+	switch mode {
+	case wire.ModePrepare, wire.ModeDecide:
+		return errFuture(fmt.Errorf("shard: the router coordinates 2PC; it does not accept %s frames", "Prepare/Decide")), true
+	}
+	return r.submit(mode == wire.ModeAdHoc, name, args)
+}
+
+// Submit routes one invocation (library form of the frontside).
+func (r *Router) Submit(name string, args pacman.Args) wire.Waiter {
+	w, ok := r.submit(false, name, args)
+	if !ok {
+		return errFuture(fmt.Errorf("shard: router queue full"))
+	}
+	return w
+}
+
+func (r *Router) submit(adHoc bool, name string, args pacman.Args) (wire.Waiter, bool) {
+	if r.closed.Load() {
+		return errFuture(ErrRouterClosed), true
+	}
+	if r.inflight.Load() >= int64(r.cfg.QueueCap) {
+		return nil, false
+	}
+	r.inflight.Add(1)
+	r.wg.Add(1)
+	f := newRouterFuture()
+	go r.dispatch(adHoc, name, args, f)
+	return f, true
+}
+
+func (r *Router) dispatch(adHoc bool, name string, args pacman.Args, f *future) {
+	defer r.wg.Done()
+	defer r.inflight.Add(-1)
+	shards, err := r.cluster.routing.Route(name, args)
+	if err != nil {
+		f.resolve(0, err)
+		return
+	}
+	if len(shards) == 1 {
+		// Single-shard: forward untouched; the shard's own durability
+		// contract (group-commit release) resolves the future.
+		cl := r.multi.Client(shards[0])
+		var cf *client.Future
+		if adHoc {
+			cf = cl.SubmitAdHoc(name, args)
+		} else {
+			cf = cl.Submit(name, args)
+		}
+		f.resolve(cf.Wait())
+		return
+	}
+	if adHoc {
+		f.resolve(0, fmt.Errorf("shard: ad-hoc invocations cannot span shards"))
+		return
+	}
+	r.runCross(name, shards, args, f)
+}
+
+// runCross drives one cross-shard transaction through 2PC.
+func (r *Router) runCross(name string, shards []int, args proc.Args, f *future) {
+	gtid := r.nextGTID.Add(1)
+	g, err := r.cluster.Split(name, gtid, shards, args)
+	if err != nil {
+		f.resolve(0, err)
+		return
+	}
+
+	// Decision-point 0: the begin record (participants + their decide
+	// pieces) must be durable before the first prepare leaves, so a router
+	// crash can always finish the protocol from the log.
+	if err := r.log.Begin(g); err != nil {
+		f.resolve(0, err)
+		return
+	}
+
+	// Phase 1: prepares, in parallel. Each ack means "executed AND durable
+	// at my pepoch" — the prepare future resolves at the participant's
+	// group-commit release, which is what aligns the 2PC prepare point
+	// with the shards' epoch cadence.
+	prepFuts := make([]*client.Future, len(g.Parts))
+	for i, p := range g.Parts {
+		prepFuts[i] = r.multi.Prepare(p.Shard, p.Prepare.Proc, p.Prepare.Args)
+	}
+	var prepErr error
+	for i, pf := range prepFuts {
+		if _, err := pf.Wait(); err != nil && prepErr == nil {
+			prepErr = fmt.Errorf("shard: gtid %d: prepare on shard %d: %w", gtid, g.Parts[i].Shard, err)
+		}
+	}
+
+	if prepErr != nil {
+		// Any NO vote, failure, or unknown outcome decides abort. No
+		// decision record is needed (presumed abort); the abort pieces are
+		// idempotent and safe even where the prepare never executed.
+		if _, err := r.deliver(g, abortOf); err != nil {
+			f.resolve(0, err)
+			return
+		}
+		_ = r.log.End(gtid)
+		f.resolve(0, prepErr)
+		return
+	}
+
+	// Decision point: every participant's prepare is durable; log commit
+	// before any participant may learn of it.
+	if err := r.log.Commit(gtid); err != nil {
+		// Decision durability unknown — resolve uncertain and let recovery
+		// settle it (commit record present → re-deliver; absent → abort).
+		f.resolve(0, fmt.Errorf("shard: gtid %d: logging commit decision: %w", gtid, err))
+		return
+	}
+
+	// Phase 2: commit decides, re-delivered until every participant acks.
+	ts, err := r.deliver(g, commitOf)
+	if err != nil {
+		// Committed but delivery interrupted (router closing): recovery
+		// re-delivers from the log. The client's outcome is "maybe".
+		f.resolve(0, fmt.Errorf("shard: gtid %d: committed, delivery incomplete: %w", gtid, err))
+		return
+	}
+	_ = r.log.End(gtid)
+	f.resolve(ts, nil)
+}
+
+func commitOf(p Participant) Invocation { return p.Commit }
+func abortOf(p Participant) Invocation  { return p.Abort }
+
+// deliver sends one decide phase to every participant in parallel and
+// waits until each has durably acked, re-sending through transient
+// failures (shard down, restarting, crashed-before-durable) — decide
+// pieces are status-gated, so re-delivery is idempotent. It returns the
+// largest participant commit timestamp.
+func (r *Router) deliver(g *gtxn, phase func(Participant) Invocation) (pacman.TS, error) {
+	var (
+		mu    sync.Mutex
+		maxTS pacman.TS
+		first error
+		wg    sync.WaitGroup
+	)
+	for _, p := range g.Parts {
+		wg.Add(1)
+		go func(p Participant) {
+			defer wg.Done()
+			inv := phase(p)
+			for {
+				if r.closed.Load() {
+					mu.Lock()
+					if first == nil {
+						first = ErrRouterClosed
+					}
+					mu.Unlock()
+					return
+				}
+				ts, err := r.multi.Decide(p.Shard, inv.Proc, inv.Args).Wait()
+				if err == nil {
+					mu.Lock()
+					if ts > maxTS {
+						maxTS = ts
+					}
+					mu.Unlock()
+					return
+				}
+				if errors.Is(err, wire.ErrUnknownProc) {
+					// Configuration drift, not a transient: re-sending can
+					// never succeed.
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("shard: gtid %d: decide %s on shard %d: %w", g.GTID, inv.Proc, p.Shard, err)
+					}
+					mu.Unlock()
+					return
+				}
+				r.logf("shard: gtid %d: decide %s on shard %d: %v (retrying)", g.GTID, inv.Proc, p.Shard, err)
+				time.Sleep(r.cfg.RetryBackoff)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return maxTS, first
+}

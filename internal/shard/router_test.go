@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"pacman"
+	"pacman/client"
+	"pacman/internal/simdisk"
+	"pacman/internal/wire"
+)
+
+// testCluster is a live 2-shard Smallbank deployment over loopback TCP.
+type testCluster struct {
+	cluster *Cluster
+	dbs     []*pacman.DB
+	srvs    []*wire.Server
+	addrs   []string
+}
+
+func launchCluster(t *testing.T, shards, customers int) *testCluster {
+	t.Helper()
+	tc := &testCluster{cluster: NewSmallbankCluster(Config{Shards: shards, Customers: customers})}
+	for i := 0; i < shards; i++ {
+		db := pacman.MustLaunch(tc.cluster.ShardBlueprint(i), tc.cluster.ShardOptions(pacman.Options{
+			Logging:       pacman.CommandLogging,
+			EpochInterval: time.Millisecond,
+		}))
+		srv := wire.NewServer(wire.ServerConfig{Workers: 2})
+		if err := srv.Attach(db); err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.dbs = append(tc.dbs, db)
+		tc.srvs = append(tc.srvs, srv)
+		tc.addrs = append(tc.addrs, addr.String())
+	}
+	t.Cleanup(func() {
+		for _, s := range tc.srvs {
+			s.Close()
+		}
+		for _, d := range tc.dbs {
+			d.Close()
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) dial(t *testing.T) *client.Multi {
+	t.Helper()
+	m, err := client.DialMulti("tcp", tc.addrs, client.Config{Window: 8, KeepAlive: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checking reads a customer's CHECKING balance straight out of a shard's
+// engine.
+func checking(t *testing.T, db *pacman.DB, custid uint64) float64 {
+	t.Helper()
+	r, ok := db.Table("CHECKING").GetRow(custid)
+	if !ok {
+		t.Fatalf("CHECKING row %d missing", custid)
+	}
+	return r.LatestData()[1].Float()
+}
+
+// status2pc reads a shard's 2PC status row for one gtid; 0 means no row
+// (no piece ever ran there).
+func status2pc(db *pacman.DB, gtid uint64) int64 {
+	r, ok := db.Table(StatusTable).GetRow(gtid)
+	if !ok {
+		return 0
+	}
+	return r.LatestData()[1].Int()
+}
+
+func payArgs(c1, c2 int64, amt float64) pacman.Args {
+	return pacman.Args{pacman.A(pacman.I(c1)), pacman.A(pacman.I(c2)), pacman.A(pacman.F(amt))}
+}
+
+// TestRouterEndToEnd drives single-shard forwards, a cross-shard commit,
+// a funds-check abort, and the no-split error through a live 2-shard
+// cluster. Customers 1–20 live on shard 0, 21–40 on shard 1.
+func TestRouterEndToEnd(t *testing.T) {
+	tc := launchCluster(t, 2, 40)
+	dev := simdisk.New("router-log", simdisk.Config{})
+	r, err := NewRouter(tc.cluster, tc.dial(t), dev, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Single-shard: forwarded untouched to the owning shard.
+	if _, err := r.Submit("DepositChecking",
+		pacman.Args{pacman.A(pacman.I(3)), pacman.A(pacman.F(25))}).Wait(); err != nil {
+		t.Fatalf("single-shard deposit: %v", err)
+	}
+	if got := checking(t, tc.dbs[0], 3); got != 1025 {
+		t.Fatalf("shard 0 CHECKING(3) = %v, want 1025", got)
+	}
+	if _, err := r.Submit("Balance", pacman.Args{pacman.A(pacman.I(30))}).Wait(); err != nil {
+		t.Fatalf("single-shard balance on shard 1: %v", err)
+	}
+
+	// Cross-shard commit: debit on shard 0, credit on shard 1, both
+	// statuses committed by the time the future resolves.
+	ts, err := r.Submit("SendPayment", payArgs(1, 30, 100)).Wait()
+	if err != nil {
+		t.Fatalf("cross-shard SendPayment: %v", err)
+	}
+	if ts == 0 {
+		t.Fatal("cross-shard commit resolved with zero timestamp")
+	}
+	if got := checking(t, tc.dbs[0], 1); got != 900 {
+		t.Fatalf("debit shard CHECKING(1) = %v, want 900", got)
+	}
+	if got := checking(t, tc.dbs[1], 30); got != 1100 {
+		t.Fatalf("credit shard CHECKING(30) = %v, want 1100", got)
+	}
+	const gtid1 = 1 // first cross-shard transaction on a fresh router
+	for i, db := range tc.dbs {
+		if st := status2pc(db, gtid1); st != StatusCommitted {
+			t.Fatalf("shard %d gtid %d status = %d, want committed", i, gtid1, st)
+		}
+	}
+
+	// Cross-shard abort: the debit piece votes no (insufficient funds);
+	// the credit piece's prepared effect is compensated on the other shard.
+	if _, err := r.Submit("SendPayment", payArgs(2, 31, 1e9)).Wait(); err == nil {
+		t.Fatal("unfunded cross-shard SendPayment committed")
+	}
+	if got := checking(t, tc.dbs[0], 2); got != 1000 {
+		t.Fatalf("after abort, CHECKING(2) = %v, want 1000", got)
+	}
+	if got := checking(t, tc.dbs[1], 31); got != 1000 {
+		t.Fatalf("after abort, CHECKING(31) = %v, want 1000", got)
+	}
+	for i, db := range tc.dbs {
+		if st := status2pc(db, gtid1+1); st != StatusAborted {
+			t.Fatalf("shard %d gtid %d status = %d, want aborted", i, gtid1+1, st)
+		}
+	}
+
+	// A cross-shard procedure without a registered split fails loudly
+	// instead of executing half a transaction.
+	if _, err := r.Submit("Amalgamate",
+		pacman.Args{pacman.A(pacman.I(4)), pacman.A(pacman.I(34))}).Wait(); err == nil {
+		t.Fatal("cross-shard Amalgamate did not fail")
+	}
+	if got := checking(t, tc.dbs[0], 4); got != 1000 {
+		t.Fatalf("after rejected Amalgamate, CHECKING(4) = %v, want 1000", got)
+	}
+
+	// Ad-hoc invocations cannot span shards.
+	w, ok := r.TrySubmit(wire.ModeAdHoc, "SendPayment", payArgs(5, 35, 1))
+	if !ok {
+		t.Fatal("TrySubmit backpressured an empty router")
+	}
+	if _, err := w.Wait(); err == nil {
+		t.Fatal("ad-hoc cross-shard invocation succeeded")
+	}
+}
+
+// TestRouterRecovery leaves two in-doubt transactions in a decision log —
+// one decided (commit, no end) and one undecided (begin only) — with their
+// prepares already applied on the shards, then builds a fresh router over
+// that log and verifies construction settles both: the decided one is
+// re-delivered to committed, the undecided one presumed aborted and
+// compensated.
+func TestRouterRecovery(t *testing.T) {
+	tc := launchCluster(t, 2, 40)
+	m := tc.dial(t)
+
+	// gtid 7: both prepares applied and durable, decision logged commit.
+	g7, err := tc.cluster.Split("SendPayment", 7, []int{0, 1}, payArgs(5, 25, 75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gtid 9: both prepares applied, no decision.
+	g9, err := tc.cluster.Split("SendPayment", 9, []int{0, 1}, payArgs(6, 26, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*gtxn{g7, g9} {
+		for _, p := range g.Parts {
+			if _, err := m.Prepare(p.Shard, p.Prepare.Proc, p.Prepare.Args).Wait(); err != nil {
+				t.Fatalf("gtid %d prepare on shard %d: %v", g.GTID, p.Shard, err)
+			}
+		}
+	}
+	if got := checking(t, tc.dbs[0], 5); got != 925 {
+		t.Fatalf("prepared debit CHECKING(5) = %v, want 925", got)
+	}
+
+	// Write the decision log the crashed router incarnation would have left.
+	dev := simdisk.New("router-log", simdisk.Config{})
+	log, _, _, err := openCoordLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Begin(g7); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Commit(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Begin(g9); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh router over the same log resolves both before serving.
+	r, err := NewRouter(tc.cluster, m, dev, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// gtid 7 committed: money moved, statuses committed everywhere.
+	if got := checking(t, tc.dbs[0], 5); got != 925 {
+		t.Fatalf("recovered commit CHECKING(5) = %v, want 925", got)
+	}
+	if got := checking(t, tc.dbs[1], 25); got != 1075 {
+		t.Fatalf("recovered commit CHECKING(25) = %v, want 1075", got)
+	}
+	for i, db := range tc.dbs {
+		if st := status2pc(db, 7); st != StatusCommitted {
+			t.Fatalf("shard %d gtid 7 status = %d, want committed", i, st)
+		}
+	}
+
+	// gtid 9 presumed abort: prepared effects compensated, statuses aborted.
+	if got := checking(t, tc.dbs[0], 6); got != 1000 {
+		t.Fatalf("recovered abort CHECKING(6) = %v, want 1000", got)
+	}
+	if got := checking(t, tc.dbs[1], 26); got != 1000 {
+		t.Fatalf("recovered abort CHECKING(26) = %v, want 1000", got)
+	}
+	for i, db := range tc.dbs {
+		if st := status2pc(db, 9); st != StatusAborted {
+			t.Fatalf("shard %d gtid 9 status = %d, want aborted", i, st)
+		}
+	}
+
+	// The recovered gtid sequence resumes past everything the shards saw:
+	// the next cross-shard transaction takes gtid 10.
+	if _, err := r.Submit("SendPayment", payArgs(8, 28, 10)).Wait(); err != nil {
+		t.Fatalf("post-recovery SendPayment: %v", err)
+	}
+	for i, db := range tc.dbs {
+		if st := status2pc(db, 10); st != StatusCommitted {
+			t.Fatalf("shard %d gtid 10 status = %d, want committed", i, st)
+		}
+	}
+}
+
+// TestMixedStreamRecovery interleaves command-logged local transactions
+// with value-logged 2PC pieces on ONE shard, then crashes and restarts it —
+// twice — verifying the mixed log stream replays to the right state: the
+// deposits re-execute, the pieces reload as values.
+func TestMixedStreamRecovery(t *testing.T) {
+	cluster := NewSmallbankCluster(Config{Shards: 1, Customers: 10})
+	bp := cluster.ShardBlueprint(0)
+	opts := cluster.ShardOptions(pacman.Options{
+		Logging:       pacman.CommandLogging,
+		EpochInterval: time.Millisecond,
+	})
+	db := pacman.MustLaunch(bp, opts)
+	fe := db.MustFrontend(pacman.FrontendConfig{})
+
+	gtidArg := func(g int64) pacman.Args { return pacman.Args{pacman.A(pacman.I(g))} }
+	pieceArgs := func(g, c int64, amt float64) pacman.Args {
+		return pacman.Args{pacman.A(pacman.I(g)), pacman.A(pacman.I(c)), pacman.A(pacman.F(amt))}
+	}
+	deposit := func(c int64, amt float64) *pacman.Future {
+		return fe.Submit("DepositChecking", pacman.Args{pacman.A(pacman.I(c)), pacman.A(pacman.F(amt))})
+	}
+
+	// Interleave: local deposits on the same accounts the dist pieces
+	// touch, with piece pairs (prepare durable before its decide goes in).
+	var futs []*pacman.Future
+	futs = append(futs, deposit(1, 10), deposit(2, 10))
+	if _, err := fe.SubmitDist("Pay2PCDebit", pieceArgs(1, 1, 100)).Wait(); err != nil {
+		t.Fatalf("dist debit: %v", err)
+	}
+	futs = append(futs, deposit(1, 10), fe.SubmitDist("Pay2PCCommit", gtidArg(1)))
+	if _, err := fe.SubmitDist("Pay2PCCredit", pieceArgs(2, 2, 50)).Wait(); err != nil {
+		t.Fatalf("dist credit: %v", err)
+	}
+	futs = append(futs, fe.SubmitDist("Pay2PCCommit", gtidArg(2)), deposit(2, 10))
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want1, want2 := 1000.0+20-100, 1000.0+20+50
+	if got := checking(t, db, 1); got != want1 {
+		t.Fatalf("pre-crash CHECKING(1) = %v, want %v", got, want1)
+	}
+
+	verify := func(db *pacman.DB, round string) {
+		t.Helper()
+		if got := checking(t, db, 1); got != want1 {
+			t.Errorf("%s: CHECKING(1) = %v, want %v", round, got, want1)
+		}
+		if got := checking(t, db, 2); got != want2 {
+			t.Errorf("%s: CHECKING(2) = %v, want %v", round, got, want2)
+		}
+		for g := uint64(1); g <= 2; g++ {
+			if st := status2pc(db, g); st != StatusCommitted {
+				t.Errorf("%s: gtid %d status = %d, want committed", round, g, st)
+			}
+		}
+	}
+
+	db.Crash()
+	db2, res, err := pacman.Restart(db.Devices(), bp, pacman.RecoverConfig{Serve: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries == 0 {
+		t.Fatal("first recovery replayed no log entries")
+	}
+	verify(db2, "first restart")
+
+	// Re-entrancy: commit more mixed work on the recovered instance, crash
+	// again, and recover the doubly-mixed stream.
+	fe2 := db2.MustFrontend(pacman.FrontendConfig{})
+	if _, err := fe2.SubmitDist("Pay2PCDebit", pieceArgs(3, 1, 30)).Wait(); err != nil {
+		t.Fatalf("post-restart dist debit: %v", err)
+	}
+	if _, err := fe2.SubmitDist("Pay2PCCommit", gtidArg(3)).Wait(); err != nil {
+		t.Fatalf("post-restart dist commit: %v", err)
+	}
+	if _, err := fe2.Submit("DepositChecking",
+		pacman.Args{pacman.A(pacman.I(1)), pacman.A(pacman.F(5))}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want1 += -30 + 5
+
+	db2.Crash()
+	db3, _, err := pacman.Restart(db2.Devices(), bp, pacman.RecoverConfig{Serve: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	verify(db3, "second restart")
+	if st := status2pc(db3, 3); st != StatusCommitted {
+		t.Errorf("second restart: gtid 3 status = %d, want committed", st)
+	}
+}

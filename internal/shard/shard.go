@@ -1,0 +1,30 @@
+// Package shard is the sharded-cluster subsystem: a routing coordinator
+// (Router) that maps stored-procedure invocations onto N pacmand shards by
+// their partition keys, plus the epoch-aligned two-phase commit that makes
+// the rare cross-shard transaction atomically durable across shards.
+//
+// The pieces:
+//
+//   - Routing (route.go) extracts each procedure's partition-attribute
+//     footprint statically from its IR — no annotations: key expressions on
+//     partitioned tables are walked down their packing spine to the
+//     partition attribute (the warehouse id for TPC-C, the customer id for
+//     Smallbank) and evaluated from the invocation's parameters alone.
+//   - Cluster (cluster.go) builds the per-shard blueprints: the base
+//     workload catalog plus a 2PC status table and the status-gated piece
+//     procedures a cross-shard commit executes on each participant.
+//   - coordLog (coordlog.go) is the coordinator's decision log on a
+//     simulated device: a synced begin record (carrying every participant's
+//     piece invocations) before any prepare is sent, a synced commit record
+//     before any commit decide, and an unsynced end record — the classic
+//     presumed-abort discipline, so recovery aborts begin-without-commit
+//     and re-delivers commit-without-end.
+//   - Router (router.go) ties them together and implements wire.Backend,
+//     so the same PAC1 server that fronts one shard fronts the cluster.
+//
+// The 2PC prepare point rides each shard's epoch group commit: a prepare
+// piece is submitted as a distributed transaction (value-logged — see
+// wal's flagDist) and its ack resolves only when the participant's pepoch
+// covers it. The coordinator therefore never logs a commit decision whose
+// prepares could be lost to a participant crash.
+package shard

@@ -135,16 +135,8 @@ func RunNet(cfg NetConfig) (*Stats, error) {
 		if serveErr != nil {
 			return st, serveErr
 		}
-		for _, j := range js {
-			if len(j.violations) > 0 {
-				return st, violation(cycle, j.violations)
-			}
-			h.oracle.merge(j)
-			st.Acked += j.acked
-			st.AckedLogged += j.ackedLogged
-			st.Maybe += j.maybe
-			st.Rejected += j.rejected
-			st.Aborted += j.aborted
+		if faults := h.oracle.absorb(js, st); len(faults) > 0 {
+			return st, violation(cycle, faults)
 		}
 
 		if cfg.Hook != nil {

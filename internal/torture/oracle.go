@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pacman"
+	"pacman/internal/shard"
 )
 
 // The durability/atomicity oracle.
@@ -117,9 +118,18 @@ func (o *oracle) merge(j *journal) {
 // guarantees) and resolves outstanding maybes against what actually
 // persisted, so later cycles hold this recovery to its own outcome.
 func (o *oracle) verify(db *pacman.DB, res *pacman.RecoveryResult) []string {
-	var v []string
+	v := o.verifyStructure(res)
+	v = append(v, o.verifyBalances(balanceTotal(db))...)
+	v = append(v, o.verifyLedger(readLedger(db))...)
+	return v
+}
 
-	// Structural invariants of the recovery result.
+// verifyStructure checks the structural invariants of one recovery result.
+// These only make sense against a single instance's epoch clock and log
+// stream, so the cluster oracle (whose acks mix per-shard clocks) skips
+// them.
+func (o *oracle) verifyStructure(res *pacman.RecoveryResult) []string {
+	var v []string
 	if res.Pepoch < o.maxAckedEpoch {
 		v = append(v, fmt.Sprintf("recovered pepoch %d below an acknowledged commit epoch %d: durable acks were lost",
 			res.Pepoch, o.maxAckedEpoch))
@@ -135,20 +145,31 @@ func (o *oracle) verify(db *pacman.DB, res *pacman.RecoveryResult) []string {
 		v = append(v, fmt.Sprintf("replayed+filtered %d entries but %d logging txns were acknowledged durable",
 			total, o.ackedLogged))
 	}
+	return v
+}
 
-	// Balance conservation (exact integer arithmetic).
-	if o.workload == WorkloadSmallbank {
-		total := balanceTotal(db)
-		lo := o.t0 + o.ackLo + o.maybeLo
-		hi := o.t0 + o.ackHi + o.maybeHi
-		if total < lo || total > hi {
-			v = append(v, fmt.Sprintf("balance conservation: SAVINGS+CHECKING total %d outside [%d, %d] (t0 %d, acked [%+d,%+d], maybe slack [%+d,%+d])",
-				total, lo, hi, o.t0, o.ackLo, o.ackHi, o.maybeLo, o.maybeHi))
-		}
+// verifyBalances checks balance conservation (exact integer arithmetic)
+// against the recovered SAVINGS+CHECKING total — for a cluster, the total
+// summed over every shard, since a torn cross-shard transfer moves money
+// between shards without conserving the sum.
+func (o *oracle) verifyBalances(total int64) []string {
+	if o.workload != WorkloadSmallbank {
+		return nil
 	}
+	lo := o.t0 + o.ackLo + o.maybeLo
+	hi := o.t0 + o.ackHi + o.maybeHi
+	if total < lo || total > hi {
+		return []string{fmt.Sprintf("balance conservation: SAVINGS+CHECKING total %d outside [%d, %d] (t0 %d, acked [%+d,%+d], maybe slack [%+d,%+d])",
+			total, lo, hi, o.t0, o.ackLo, o.ackHi, o.maybeLo, o.maybeHi)}
+	}
+	return nil
+}
 
-	// Ledger read-back: presence for acked pairs, atomicity for all.
-	ledger := readLedger(db)
+// verifyLedger checks the ledger read-back — presence for acked pairs,
+// atomicity for all — and freezes outstanding maybes at whatever this
+// recovery persisted.
+func (o *oracle) verifyLedger(ledger map[uint64]int64) []string {
+	var v []string
 	for i := range o.stamps {
 		s := &o.stamps[i]
 		if s.status == stampUnused {
@@ -220,4 +241,96 @@ func readLedger(db *pacman.DB) map[uint64]int64 {
 		return true
 	})
 	return out
+}
+
+// ClusterOracle is the verification state shared by every torture shape:
+// the in-process cycle and the single-daemon network cycle run it at width
+// 1 (where verify covers everything), and the sharded cluster cycle runs
+// it across N shards, where balance conservation spans every shard and the
+// per-gtid 2PC outcomes must agree.
+type ClusterOracle struct {
+	*oracle
+	shards int
+}
+
+func newClusterOracle(workload string, t0 int64, pairs, shards int) *ClusterOracle {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ClusterOracle{oracle: newOracle(workload, t0, pairs), shards: shards}
+}
+
+// absorb folds every client journal into the oracle and the run's stats.
+// It returns the violations a journal recorded at settle time, if any —
+// those are reported before the journal can contaminate the oracle state.
+func (o *ClusterOracle) absorb(js []*journal, st *Stats) []string {
+	for _, j := range js {
+		if len(j.violations) > 0 {
+			return j.violations
+		}
+		o.merge(j)
+		st.Acked += j.acked
+		st.AckedLogged += j.ackedLogged
+		st.Maybe += j.maybe
+		st.Rejected += j.rejected
+		st.Aborted += j.aborted
+	}
+	return nil
+}
+
+// verifyCluster checks the recovered cluster as a whole. Per-shard epoch
+// clocks are unrelated, so the single-instance structural checks do not
+// apply; what must hold globally is balance conservation SUMMED over every
+// shard (every cross-shard SendPayment has exact delta zero, so a torn one
+// shifts the sum out of the oracle's interval), ledger atomicity (the
+// ledger is unpartitioned, so every stamp routed to shard 0), and per-gtid
+// 2PC outcome agreement across the shards.
+func (o *ClusterOracle) verifyCluster(dbs []*pacman.DB) []string {
+	var total int64
+	for _, db := range dbs {
+		total += balanceTotal(db)
+	}
+	v := o.verifyBalances(total)
+	v = append(v, o.verifyLedger(readLedger(dbs[0]))...)
+	v = append(v, verify2PCAgreement(dbs)...)
+	return v
+}
+
+// verify2PCAgreement scans the 2PC status table on every shard: a gtid
+// marked committed on one shard and aborted on another is exactly the
+// partial cross-shard transaction 2PC exists to rule out, and a gtid still
+// bare-prepared after the router has settled means presumed abort failed to
+// drive an in-doubt transaction to a decision.
+func verify2PCAgreement(dbs []*pacman.DB) []string {
+	var v []string
+	committed := map[uint64][]int{}
+	aborted := map[uint64][]int{}
+	prepared := map[uint64][]int{}
+	for i, db := range dbs {
+		db.Table(shard.StatusTable).ScanIndex(0, ^uint64(0), func(r *pacman.Row) bool {
+			d := r.LatestData()
+			if d == nil {
+				return true
+			}
+			switch d[1].Int() {
+			case shard.StatusCommitted:
+				committed[r.Key] = append(committed[r.Key], i)
+			case shard.StatusAborted:
+				aborted[r.Key] = append(aborted[r.Key], i)
+			case shard.StatusPrepared:
+				prepared[r.Key] = append(prepared[r.Key], i)
+			}
+			return true
+		})
+	}
+	for gtid, cs := range committed {
+		if as := aborted[gtid]; len(as) > 0 {
+			v = append(v, fmt.Sprintf("2PC disagreement: gtid %d committed on shards %v but aborted on shards %v — partial cross-shard transaction visible",
+				gtid, cs, as))
+		}
+	}
+	for gtid, ps := range prepared {
+		v = append(v, fmt.Sprintf("2PC in-doubt: gtid %d still bare-prepared on shards %v after settlement", gtid, ps))
+	}
+	return v
 }

@@ -147,12 +147,20 @@ type Stats struct {
 	Stamps int
 	// Replayed is the final recovery's entry count.
 	Replayed int
+	// ShardKills/RouterKills count the cluster cycle's victims: shard
+	// instances and router incarnations killed mid-traffic (zero outside
+	// RunCluster).
+	ShardKills, RouterKills int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("cycles=%d acked=%d (logged %d) maybe=%d rejected=%d aborted=%d serveTrips=%d recoveryCrashes=%d transientReads=%d ckpts=%d stamps=%d replayed=%d",
+	out := fmt.Sprintf("cycles=%d acked=%d (logged %d) maybe=%d rejected=%d aborted=%d serveTrips=%d recoveryCrashes=%d transientReads=%d ckpts=%d stamps=%d replayed=%d",
 		s.Cycles, s.Acked, s.AckedLogged, s.Maybe, s.Rejected, s.Aborted,
 		s.ServeTrips, s.RecoveryCrashes, s.TransientReadFaults, s.Checkpoints, s.Stamps, s.Replayed)
+	if s.ShardKills > 0 || s.RouterKills > 0 {
+		out += fmt.Sprintf(" shardKills=%d routerKills=%d", s.ShardKills, s.RouterKills)
+	}
+	return out
 }
 
 // Violation is the oracle-failure error: it carries everything needed to
@@ -229,16 +237,8 @@ func Run(cfg Config) (*Stats, error) {
 			}
 			plan.Disarm()
 		}
-		for _, j := range js {
-			if len(j.violations) > 0 {
-				return st, violation(cycle, j.violations)
-			}
-			h.oracle.merge(j)
-			st.Acked += j.acked
-			st.AckedLogged += j.ackedLogged
-			st.Maybe += j.maybe
-			st.Rejected += j.rejected
-			st.Aborted += j.aborted
+		if faults := h.oracle.absorb(js, st); len(faults) > 0 {
+			return st, violation(cycle, faults)
 		}
 
 		if cfg.Hook != nil {
@@ -341,7 +341,7 @@ func (h *harness) recoverCycle(cfg Config, rng *rand.Rand, devices []*pacman.Dev
 // harness holds the per-run workload machinery.
 type harness struct {
 	bp     pacman.Blueprint
-	oracle *oracle
+	oracle *ClusterOracle
 	// gen generates one transaction; nil stamp-free fallback uses wkGen.
 	wk workload.Workload // tpcc generator (nil for smallbank)
 
@@ -386,7 +386,7 @@ func newHarness(cfg Config) (*harness, error) {
 		sb := workload.NewSmallbank(workload.SmallbankConfig{Customers: cfg.SBCustomers, HotspotPct: 25})
 		spec = workload.Spec(sb)
 		// 2000 savings + 1000 checking per customer (DefaultSmallbank seed).
-		h.oracle = newOracle(WorkloadSmallbank, int64(cfg.SBCustomers)*3000, h.ledgerPairs)
+		h.oracle = newClusterOracle(WorkloadSmallbank, int64(cfg.SBCustomers)*3000, h.ledgerPairs, 1)
 	case WorkloadTPCC:
 		tc := workload.DefaultTPCCConfig()
 		tc.Warehouses = 1
@@ -394,7 +394,7 @@ func newHarness(cfg Config) (*harness, error) {
 		w := workload.NewTPCC(tc)
 		spec = workload.Spec(w)
 		h.wk = w
-		h.oracle = newOracle(WorkloadTPCC, 0, h.ledgerPairs)
+		h.oracle = newClusterOracle(WorkloadTPCC, 0, h.ledgerPairs, 1)
 	default:
 		return nil, fmt.Errorf("torture: unknown workload %q", cfg.Workload)
 	}

@@ -76,6 +76,11 @@ type Committed struct {
 	Proc  *proc.Compiled
 	Args  proc.Args
 	AdHoc bool
+	// Dist marks a distributed transaction — a piece of a cross-shard
+	// two-phase commit. Like AdHoc it forces value logging under command
+	// logging, so a shard's replay never re-executes the piece (whose
+	// inputs may have come from another shard).
+	Dist bool
 	// Writes is the transaction's write set in commit order (logical and
 	// physical logging; also used for ad-hoc replay under command logging).
 	Writes []WriteRec
@@ -306,7 +311,7 @@ func (w *Worker) FailDurability(err error) {
 // is buffered for the loggers. adHoc marks the transaction as not
 // command-loggable.
 func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start time.Time) (engine.TS, error) {
-	return w.execute(nil, p, args, adHoc, start)
+	return w.execute(nil, p, args, adHoc, false, start)
 }
 
 // ExecuteFuture runs one transaction like Execute and resolves f with its
@@ -314,10 +319,17 @@ func (w *Worker) Execute(p *proc.Compiled, args proc.Args, adHoc bool, start tim
 // durability is not deferred to a logging pipeline (or the transaction is
 // read-only), and otherwise when the pipeline releases the commit's epoch.
 func (w *Worker) ExecuteFuture(f *Future, p *proc.Compiled, args proc.Args, adHoc bool) (engine.TS, error) {
-	return w.execute(f, p, args, adHoc, f.Start())
+	return w.execute(f, p, args, adHoc, false, f.Start())
 }
 
-func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool, start time.Time) (engine.TS, error) {
+// ExecuteFutureDist is ExecuteFuture for distributed transactions (2PC
+// pieces): the commit record is marked Dist so the loggers emit a value
+// record even under command logging.
+func (w *Worker) ExecuteFutureDist(f *Future, p *proc.Compiled, args proc.Args) (engine.TS, error) {
+	return w.execute(f, p, args, false, true, f.Start())
+}
+
+func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc, dist bool, start time.Time) (engine.TS, error) {
 	fail := func(err error) (engine.TS, error) {
 		if f != nil {
 			f.Resolve(time.Now(), err)
@@ -353,6 +365,7 @@ func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc bool
 					c.Proc = p
 					c.Args = args
 					c.AdHoc = adHoc
+					c.Dist = dist
 					c.Writes = t.appendWriteRecs(c.Writes)
 					c.Start = start
 					w.bufMu.Lock()

@@ -68,6 +68,10 @@ type Entry struct {
 	ProcID int
 	Args   proc.Args
 	Writes []WriteImage
+	// Dist marks a distributed transaction (a cross-shard 2PC piece): its
+	// effects were logged as values even under command logging, so replay
+	// never re-executes it and never depends on another shard's state.
+	Dist bool
 }
 
 // Epoch returns the entry's commit epoch.
@@ -78,6 +82,7 @@ const (
 	fileVersion = 1
 
 	flagAdHoc   = 1 << 0
+	flagDist    = 1 << 1
 	flagDeleted = 1 << 0
 )
 
@@ -113,9 +118,12 @@ func decodeFileHeader(b []byte) (kind Kind, loggerID int, batch uint32, rest []b
 
 // encodeRecord appends one framed record ([len][crc][payload]) for the given
 // logging scheme. Under command logging, ad-hoc transactions fall back to a
-// logical tuple record (Section 4.5). The payload is encoded directly into
-// buf — the frame header is reserved up front and backfilled — so a flush
-// reusing one encode buffer performs no per-record allocation.
+// logical tuple record (Section 4.5), and distributed transactions (2PC
+// pieces of a cross-shard commit) do the same so one shard's replay never
+// depends on another shard's state — the mixed stream stays REDO-only and
+// single-pass. The payload is encoded directly into buf — the frame header
+// is reserved up front and backfilled — so a flush reusing one encode
+// buffer performs no per-record allocation.
 func encodeRecord(buf []byte, kind Kind, c *txn.Committed) []byte {
 	if kind == Off {
 		return buf // Off: nothing
@@ -123,19 +131,26 @@ func encodeRecord(buf []byte, kind Kind, c *txn.Committed) []byte {
 	base := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // [len][crc], backfilled below
 	buf = binary.LittleEndian.AppendUint64(buf, c.TS)
+	var flags byte
+	if c.AdHoc {
+		flags |= flagAdHoc
+	}
+	if c.Dist {
+		flags |= flagDist
+	}
 	switch {
-	case kind == Command && !c.AdHoc:
+	case kind == Command && flags == 0:
 		buf = append(buf, 0) // flags
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(c.Proc.ID()))
 		buf = proc.AppendArgs(buf, c.Args)
-	case kind == Command && c.AdHoc:
-		buf = append(buf, flagAdHoc)
+	case kind == Command:
+		buf = append(buf, flags)
 		buf = appendLogicalWrites(buf, c.Writes)
 	case kind == Logical:
-		buf = append(buf, 0)
+		buf = append(buf, flags)
 		buf = appendLogicalWrites(buf, c.Writes)
 	case kind == Physical:
-		buf = append(buf, 0)
+		buf = append(buf, flags)
 		buf = appendPhysicalWrites(buf, c.Writes)
 	default:
 		return buf[:base] // unknown kind: drop the reserved frame
@@ -215,9 +230,10 @@ func decodePayload(p []byte, kind Kind) (*Entry, error) {
 	}
 	e := &Entry{TS: binary.LittleEndian.Uint64(p)}
 	flags := p[8]
+	e.Dist = flags&flagDist != 0
 	rest := p[9:]
 	switch {
-	case kind == Command && flags&flagAdHoc == 0:
+	case kind == Command && flags&(flagAdHoc|flagDist) == 0:
 		if len(rest) < 2 {
 			return nil, fmt.Errorf("wal: command record truncated")
 		}

@@ -124,6 +124,43 @@ func TestAdHocUnderCommandLogging(t *testing.T) {
 	}
 }
 
+func TestDistUnderCommandLogging(t *testing.T) {
+	b, m := bankSetup(t)
+	w := m.NewWorker()
+	fut := txn.NewFuture(time.Now())
+	if _, err := w.ExecuteFutureDist(fut, b.Deposit,
+		proc.Args{proc.A(tuple.I(6)), proc.A(tuple.I(7)), proc.A(tuple.I(1))}); err != nil {
+		t.Fatal(err)
+	}
+	recs := w.Drain(10)
+	if len(recs) != 1 || !recs[0].Dist {
+		t.Fatalf("expected one Dist commit record, got %+v", recs)
+	}
+	// Under every logging kind, a distributed txn decodes as a tuple entry
+	// carrying the Dist mark — replay reinstalls images, never re-executes.
+	for _, kind := range []Kind{Command, Logical, Physical} {
+		buf := encodeRecord(nil, kind, recs[0])
+		e, n, err := decodeRecord(buf, kind)
+		if err != nil || n != len(buf) {
+			t.Fatalf("%v decode: %v", kind, err)
+		}
+		if e.Kind != EntryTuple {
+			t.Errorf("%v: dist txn must decode as a tuple entry, got %v", kind, e.Kind)
+		}
+		if !e.Dist {
+			t.Errorf("%v: entry lost the Dist mark", kind)
+		}
+		if len(e.Writes) != len(recs[0].Writes) {
+			t.Errorf("%v: writes = %d, want %d", kind, len(e.Writes), len(recs[0].Writes))
+		}
+	}
+	// The flag layout keeps ad-hoc and dist distinguishable.
+	buf := encodeRecord(nil, Command, recs[0])
+	if e, _, _ := decodeRecord(buf, Command); e == nil || e.ProcID != 0 || len(e.Args) != 0 {
+		t.Errorf("dist entry should carry no command payload: %+v", e)
+	}
+}
+
 func TestDecodeTornAndCorrupt(t *testing.T) {
 	b, m := bankSetup(t)
 	w := m.NewWorker()

@@ -27,15 +27,88 @@ type ServerConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// SubmitMode classifies an admitted request by the frame that carried it:
+// a plain or ad-hoc Submit, or one of the two 2PC phases a shard router
+// drives cross-shard commits through.
+type SubmitMode uint8
+
+// Submit modes.
+const (
+	ModeNormal SubmitMode = iota
+	ModeAdHoc
+	ModePrepare
+	ModeDecide
+)
+
+// Waiter is the durable-commit handle a Backend returns for an admitted
+// request; *pacman.Future satisfies it.
+type Waiter interface {
+	Wait() (pacman.TS, error)
+}
+
+// Backend is the serving side of a Server: what a connection's admitted
+// requests are submitted to. Attach installs the standard backend — a
+// frontend over a pacman instance; a shard router installs its routing
+// frontside through AttachBackend, which is how one Server implementation
+// speaks PAC1 for both a single shard and a whole cluster.
+//
+// TrySubmit follows the frontend's non-blocking admission contract:
+// (nil, false) means "not admitted right now" (queue full — the server
+// answers with a backpressure frame); a non-nil Waiter is answered with a
+// Result frame when it resolves, whether or not ok is true (a terminal
+// error rides the Waiter).
+type Backend interface {
+	// Procs is the procedure table in procedure-ID order (HelloAck payload).
+	Procs() []string
+	// TrySubmit admits one request for the named procedure.
+	TrySubmit(mode SubmitMode, proc string, args pacman.Args) (Waiter, bool)
+	// QueueDepth and QueueCap describe the admission queue for
+	// backpressure frames.
+	QueueDepth() int
+	QueueCap() int
+	// Close retires the backend (server Drain/Close).
+	Close()
+}
+
 // feState is the serving state a connection snapshots per request: the
-// frontend of the CURRENT database incarnation and its procedure table.
-// Attach swaps it atomically across a crash→Restart cycle, so connections
-// that survive the daemon's restart (or arrive mid-swap) always submit to
-// the live incarnation.
+// backend of the CURRENT incarnation and its procedure table.
+// Attach/AttachBackend swap it atomically across a crash→Restart cycle, so
+// connections that survive the daemon's restart (or arrive mid-swap)
+// always submit to the live incarnation.
 type feState struct {
+	be    Backend
+	procs []string
+}
+
+// feBackend adapts a pacman Frontend to the Backend seam, mapping the 2PC
+// phases onto the distributed (value-logged) submission path.
+type feBackend struct {
 	fe    *pacman.Frontend
 	procs []string
 }
+
+func (b *feBackend) Procs() []string { return b.procs }
+
+func (b *feBackend) TrySubmit(mode SubmitMode, proc string, args pacman.Args) (Waiter, bool) {
+	var fut *pacman.Future
+	var ok bool
+	switch mode {
+	case ModeAdHoc:
+		fut, ok = b.fe.TrySubmitAdHoc(proc, args)
+	case ModePrepare, ModeDecide:
+		fut, ok = b.fe.TrySubmitDist(proc, args)
+	default:
+		fut, ok = b.fe.TrySubmit(proc, args)
+	}
+	if fut == nil {
+		return nil, ok
+	}
+	return fut, ok
+}
+
+func (b *feBackend) QueueDepth() int { return b.fe.QueueDepth() }
+func (b *feBackend) QueueCap() int   { return b.fe.QueueCap() }
+func (b *feBackend) Close()          { b.fe.Close() }
 
 // Server speaks the wire protocol over any set of TCP/unix listeners,
 // multiplexing every connection's pipelined submissions onto one pacman
@@ -94,12 +167,19 @@ func (s *Server) Attach(db *pacman.DB) error {
 	if err != nil {
 		return err
 	}
-	old := s.state.Swap(&feState{fe: fe, procs: db.Procedures()})
+	s.AttachBackend(&feBackend{fe: fe, procs: db.Procedures()})
+	return nil
+}
+
+// AttachBackend installs a custom serving backend — the seam the shard
+// router's PAC1 frontside plugs into. Semantics match Attach: the previous
+// incarnation's backend is closed and draining state is reset.
+func (s *Server) AttachBackend(be Backend) {
+	old := s.state.Swap(&feState{be: be, procs: be.Procs()})
 	s.draining.Store(false)
 	if old != nil {
-		old.fe.Close()
+		old.be.Close()
 	}
-	return nil
 }
 
 // Listen opens a listener ("tcp" or "unix") and starts accepting. A stale
@@ -187,7 +267,7 @@ func (s *Server) Drain(timeout time.Duration) {
 		c.flushAndClose()
 	}
 	if st := s.state.Load(); st != nil {
-		st.fe.Close()
+		st.be.Close()
 	}
 }
 
@@ -206,7 +286,7 @@ func (s *Server) Kill() {
 func (s *Server) Close() {
 	s.Kill()
 	if st := s.state.Swap(nil); st != nil {
-		st.fe.Close()
+		st.be.Close()
 	}
 }
 
@@ -330,7 +410,7 @@ func (c *srvConn) readLoop() {
 		}
 		buf = p // frames are consumed synchronously; reuse the read buffer
 		switch h.Type {
-		case FrameSubmit:
+		case FrameSubmit, FramePrepare, FrameDecide:
 			c.handleSubmit(h, p)
 		case FramePing:
 			c.send(outMsg{h: Header{Type: FramePong, ReqID: h.ReqID}})
@@ -369,13 +449,16 @@ func (c *srvConn) handleSubmit(h Header, p []byte) {
 		return
 	}
 	name := st.procs[procID]
-	var fut *pacman.Future
-	var ok bool
-	if h.Flags&FlagAdHoc != 0 {
-		fut, ok = st.fe.TrySubmitAdHoc(name, args)
-	} else {
-		fut, ok = st.fe.TrySubmit(name, args)
+	mode := ModeNormal
+	switch {
+	case h.Type == FramePrepare:
+		mode = ModePrepare
+	case h.Type == FrameDecide:
+		mode = ModeDecide
+	case h.Flags&FlagAdHoc != 0:
+		mode = ModeAdHoc
 	}
+	fut, ok := st.be.TrySubmit(mode, name, args)
 	if fut == nil {
 		// Queue full: the request was never executed — backpressure, the
 		// client retries. This is the admission-control path that keeps a
@@ -393,12 +476,12 @@ func (c *srvConn) handleSubmit(h Header, p []byte) {
 func (c *srvConn) backpressure(reqID uint64, st *feState) {
 	c.send(outMsg{
 		h:       Header{Type: FrameBackpressure, Code: CodeBackpressure, ReqID: reqID},
-		payload: AppendBackpressure(nil, uint32(st.fe.QueueDepth()), uint32(st.fe.QueueCap())),
+		payload: AppendBackpressure(nil, uint32(st.be.QueueDepth()), uint32(st.be.QueueCap())),
 	})
 }
 
 // respond waits one future out and sends its Result frame.
-func (c *srvConn) respond(reqID uint64, fut *pacman.Future) {
+func (c *srvConn) respond(reqID uint64, fut Waiter) {
 	defer c.inflight.Done()
 	defer c.inflightN.Add(-1)
 	ts, err := fut.Wait()

@@ -59,6 +59,16 @@ const (
 	FrameGoAway       uint8 = 6 // server → client: draining, stop submitting
 	FramePing         uint8 = 7 // either direction: liveness probe
 	FramePong         uint8 = 8 // answer to Ping, request id echoed
+	// FramePrepare and FrameDecide carry the two phases of a cross-shard
+	// commit from a shard router to a participant shard. Both share the
+	// Submit payload layout (proc id + encoded args) and are answered with
+	// Result frames; the participant executes them as distributed
+	// transactions (value logging even under command logging). A Prepare's
+	// CodeOK Result means the piece's effects are durable at the
+	// participant's pepoch — the coordinator's commit decision may only
+	// follow those acks (see docs/ARCHITECTURE.md).
+	FramePrepare uint8 = 9  // router → shard: durable prepare piece
+	FrameDecide  uint8 = 10 // router → shard: commit-apply or abort-release piece
 )
 
 // Flags.
@@ -94,6 +104,8 @@ var frameNames = map[uint8]string{
 	FrameGoAway:       "FrameGoAway",
 	FramePing:         "FramePing",
 	FramePong:         "FramePong",
+	FramePrepare:      "FramePrepare",
+	FrameDecide:       "FrameDecide",
 }
 
 var codeNames = map[uint16]string{

@@ -171,6 +171,15 @@ type Options struct {
 	// MaxRetries bounds OCC retries per transaction before the conflict
 	// surfaces to the caller (default 10000).
 	MaxRetries int
+	// ValueLogProcs names stored procedures whose commits are always logged
+	// as values (tuple records) even under command logging — the adaptive
+	// per-transaction logging policy for distributed or dependency-heavy
+	// procedures. The 2PC pieces of a cross-shard commit are the canonical
+	// members: a shard replaying its log must never re-execute a piece whose
+	// inputs came from another shard, so their effects are persisted as
+	// self-contained value records (see docs/ARCHITECTURE.md, "Sharding &
+	// cross-shard commit"). Unknown names are ignored.
+	ValueLogProcs []string
 	// OnRelease observes transactions whose results become durable (group
 	// commit released). It rides the same release path that resolves
 	// durable-commit Futures; prefer per-request Futures (Session.Submit,
@@ -202,6 +211,10 @@ type DB struct {
 	// new checkpoints take strictly larger ids.
 	ckptSeed    uint32
 	manualCkpts atomic.Uint32
+
+	// valueLog is Options.ValueLogProcs as a set: procedures whose commits
+	// are forced onto the value-logging path.
+	valueLog map[string]bool
 }
 
 // Adopt wraps a pre-built catalog and procedure registry (e.g., one of the
@@ -239,6 +252,12 @@ func Open(opts Options) *DB {
 		db:       engine.NewDatabase(),
 		reg:      proc.NewRegistry(),
 		seedHash: wal.NewSeedHash(),
+	}
+	if len(opts.ValueLogProcs) > 0 {
+		d.valueLog = make(map[string]bool, len(opts.ValueLogProcs))
+		for _, name := range opts.ValueLogProcs {
+			d.valueLog[name] = true
+		}
 	}
 	if len(opts.ExistingDevices) > 0 {
 		d.devices = opts.ExistingDevices
