@@ -1,8 +1,12 @@
 // pacman-analyze dumps the static-analysis artifacts (local and global
 // dependency graphs) for the built-in workloads — the tool form of the
-// paper's Figures 3-5 and 21.
+// paper's Figures 3-5 and 21 — and, with -scan, analyzes a *live* instance
+// instead: it launches the workload, drives concurrent writers, and streams
+// consistent snapshot scans over the multi-version store without ever
+// aborting them.
 //
 //	pacman-analyze -workload tpcc
+//	pacman-analyze -scan -duration 2s
 package main
 
 import (
@@ -19,7 +23,16 @@ import (
 func main() {
 	which := flag.String("workload", "tpcc", "bank | tpcc | smallbank")
 	withChopping := flag.Bool("chopping", false, "also print the transaction-chopping decomposition")
+	scan := flag.Bool("scan", false, "live mode: launch smallbank, drive writers, and stream consistent snapshot scans")
+	scanDur := flag.Duration("duration", 0, "with -scan, how long to drive load (default 1s)")
 	flag.Parse()
+
+	if *scan {
+		if err := liveScan(*scanDur); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var procs []*proc.Compiled
 	switch *which {

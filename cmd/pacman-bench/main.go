@@ -41,6 +41,7 @@ var experiments = map[string]func(io.Writer, harness.Scale) error{
 	"reload":     harness.FigReload,
 	"latency":    harness.FigLatency,
 	"throughput": harness.FigThroughput,
+	"mixed":      harness.FigMixed,
 	"restart":    restartSmoke,
 	"torture":    tortureExp,
 	"net":        netExp,
@@ -75,7 +76,7 @@ func writeJSON(dir, id string, res benchResult) error {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, restart, torture, net, shard, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, mixed, restart, torture, net, shard, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")

@@ -90,13 +90,14 @@ func tortureExp(w io.Writer, s harness.Scale) error {
 			total.RecoveryCrashes += st.RecoveryCrashes
 			total.TransientReadFaults += st.TransientReadFaults
 			total.Checkpoints += st.Checkpoints
+			total.SnapScans += st.SnapScans
 			total.Stamps += st.Stamps
 		}
-		fmt.Fprintf(w, "%v/%-9s %4d cycles: %6d acked, %5d maybe, %3d mid-serve trips, %3d crashes mid-recovery, %3d transient read faults, %3d ckpts, %5d stamps verified (%v)\n",
+		fmt.Fprintf(w, "%v/%-9s %4d cycles: %6d acked, %5d maybe, %3d mid-serve trips, %3d crashes mid-recovery, %3d transient read faults, %3d ckpts, %5d snap scans, %5d stamps verified (%v)\n",
 			r.kind, r.workload, total.Cycles, total.Acked, total.Maybe,
 			total.ServeTrips, total.RecoveryCrashes, total.TransientReadFaults,
-			total.Checkpoints, total.Stamps, time.Since(start).Round(time.Millisecond))
+			total.Checkpoints, total.SnapScans, total.Stamps, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintln(w, "oracle: every acknowledged commit read back; no partial transaction visible; pepoch/resume/checkpoint invariants held")
+	fmt.Fprintln(w, "oracle: every acknowledged commit read back; no partial transaction visible; pepoch/resume/checkpoint invariants held; snapshot scans observed no torn pair and no mutable cut")
 	return nil
 }

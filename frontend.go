@@ -169,6 +169,28 @@ func (f *Frontend) ExecAdHoc(name string, args Args) (TS, error) {
 // share).
 func (f *Frontend) Sessions() int { return len(f.fe.Workers()) }
 
+// Scan runs a consistent snapshot scan over table, calling fn in key order
+// for every row with key in [lo, hi) that was visible at the cut, until fn
+// returns false. The cut is the newest released epoch (returned), so every
+// committed-and-released transaction at or below it is fully visible and
+// nothing newer leaks in. The scan reads outside OCC entirely: it takes no
+// latches, joins no validation, and can never abort a concurrent writer —
+// run it as long as you like under full OLTP load (the pinned epoch merely
+// holds version garbage collection back until the scan finishes).
+func (f *Frontend) Scan(table string, lo, hi uint64, fn func(key uint64, row Tuple) bool) (epoch uint32, err error) {
+	t := f.d.db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("pacman: unknown table %q", table)
+	}
+	v, err := f.d.SnapshotView(0)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	v.Scan(t, lo, hi, fn)
+	return v.Epoch(), nil
+}
+
 // Close drains queued submissions, rejects late ones with
 // ErrFrontendClosed, and retires the session pool. Futures of drained work
 // resolve through the normal release path.

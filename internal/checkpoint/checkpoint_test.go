@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pacman/internal/engine"
+	"pacman/internal/mvcc"
 	"pacman/internal/proc"
 	"pacman/internal/simdisk"
 	"pacman/internal/tuple"
@@ -214,7 +215,8 @@ func TestDaemon(t *testing.T) {
 	b, m := bankWithData(t, 20)
 	_ = b
 	dd := devs(1)
-	d := NewDaemon(m, dd, Config{Threads: 1}, 5*time.Millisecond)
+	views := mvcc.NewManager(m.DB(), mvcc.Config{SnapshotEpoch: m.SnapshotEpoch})
+	d := NewDaemon(m, views, dd, Config{Threads: 1}, 5*time.Millisecond)
 	d.Start()
 	time.Sleep(25 * time.Millisecond)
 	d.Stop()

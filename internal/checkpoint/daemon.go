@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pacman/internal/engine"
+	"pacman/internal/mvcc"
 	"pacman/internal/simdisk"
 	"pacman/internal/txn"
 )
@@ -19,6 +20,13 @@ type Daemon struct {
 	devices  []*simdisk.Device
 	cfg      Config
 	interval time.Duration
+	// views, when set, supplies pinned snapshot views: each checkpoint
+	// streams a consistent cut concurrently with live commits while the
+	// view pin keeps the multi-version garbage collector from reclaiming
+	// the history under it. Nil (single-version instances) falls back to
+	// snapshotting at the raw snapshot epoch, which is only consistent
+	// because version chains then hold exactly the latest committed data.
+	views *mvcc.Manager
 
 	nextID   atomic.Uint32
 	running  atomic.Bool
@@ -32,9 +40,9 @@ type Daemon struct {
 	last *Manifest
 }
 
-// NewDaemon builds a checkpoint daemon.
-func NewDaemon(mgr *txn.Manager, devices []*simdisk.Device, cfg Config, interval time.Duration) *Daemon {
-	return &Daemon{mgr: mgr, devices: devices, cfg: cfg, interval: interval, stopCh: make(chan struct{})}
+// NewDaemon builds a checkpoint daemon. views may be nil (see Daemon.views).
+func NewDaemon(mgr *txn.Manager, views *mvcc.Manager, devices []*simdisk.Device, cfg Config, interval time.Duration) *Daemon {
+	return &Daemon{mgr: mgr, views: views, devices: devices, cfg: cfg, interval: interval, stopCh: make(chan struct{})}
 }
 
 // SeedIDs moves the checkpoint id counter past lastID. A restarted instance
@@ -77,14 +85,23 @@ func (d *Daemon) Stop() {
 	d.wg.Wait()
 }
 
-// RunOnce takes one checkpoint at the current snapshot epoch (the safe
-// epoch clamped strictly below the open epoch — see Manager.SnapshotEpoch).
+// RunOnce takes one fuzzy checkpoint: it pins a snapshot view at the newest
+// released epoch and streams that consistent cut to the devices while
+// commits keep flowing — writers are never blocked or aborted, and the
+// view pin (not a frozen write path) is what keeps the cut stable under
+// them. Without a view manager it snapshots at the raw snapshot epoch.
 func (d *Daemon) RunOnce() (*Manifest, error) {
 	d.running.Store(true)
 	defer d.running.Store(false)
 	id := d.nextID.Add(1)
-	se := d.mgr.SnapshotEpoch()
-	ts := engine.MakeTS(se, ^uint32(0))
+	var ts engine.TS
+	if d.views != nil {
+		v := d.views.AcquireFresh()
+		defer v.Close()
+		ts = v.TS()
+	} else {
+		ts = engine.MakeTS(d.mgr.SnapshotEpoch(), ^uint32(0))
+	}
 	m, err := Write(d.mgr.DB(), d.devices, d.cfg, id, ts)
 	if err != nil {
 		return nil, err

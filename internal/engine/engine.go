@@ -45,14 +45,24 @@ func EpochCeil(epoch, quantum uint32) uint32 {
 	return (epoch + quantum - 1) / quantum * quantum
 }
 
-// Version is one version of a row. Versions are immutable once installed;
-// the chain is newest-first.
+// Version is one version of a row. Versions are immutable once installed
+// except for the chain link; the chain is newest-first. The link is atomic
+// because garbage collection truncates chain tails while readers traverse
+// them lock-free (see Row.TruncateVersions).
 type Version struct {
 	BeginTS TS
 	Deleted bool // tombstone: the row was deleted at BeginTS
 	Data    tuple.Tuple
-	Next    *Version // older version, or nil
+	next    atomic.Pointer[Version] // older version, or nil
 }
+
+// Next returns the next-older version, or nil at the end of the chain.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// SetNext links v to an older version. Chain mutators (install, sorted
+// splice, truncation) must guarantee exclusive access to the chain; readers
+// may observe either link value.
+func (v *Version) SetNext(older *Version) { v.next.Store(older) }
 
 // Row is a logical row: a stable identity carrying a spin latch and the head
 // of its version chain. head == nil means the row has been allocated (e.g.,
@@ -107,10 +117,54 @@ func (r *Row) SetHead(v *Version) { r.head.Store(v) }
 // false the previous chain is discarded (single-version behavior).
 func (r *Row) Install(ts TS, data tuple.Tuple, deleted bool, retain bool) {
 	v := &Version{BeginTS: ts, Deleted: deleted, Data: data}
+	r.InstallPrepared(v, retain)
+}
+
+// InstallPrepared pushes a caller-allocated version on top of the current
+// chain; the multi-version layer's per-worker pools prepare versions this
+// way so the commit hot path stays allocation-free. The version's link is
+// overwritten. Callers must guarantee exclusive access.
+func (r *Row) InstallPrepared(v *Version, retain bool) {
 	if retain {
-		v.Next = r.head.Load()
+		v.next.Store(r.head.Load())
+	} else {
+		v.next.Store(nil)
 	}
 	r.head.Store(v)
+}
+
+// TruncateVersions cuts the chain below the newest version whose BeginTS is
+// <= floorTS: every read at a timestamp >= floorTS is unaffected, and
+// strictly-older history becomes unreachable for the garbage collector's
+// accounting. It returns the surviving chain length and the number of
+// versions pruned. Callers must guarantee exclusive access (hold the row
+// latch); concurrent lock-free readers at timestamps >= floorTS remain
+// correct because they never traverse past the boundary version.
+func (r *Row) TruncateVersions(floorTS TS) (kept, pruned int) {
+	v := r.head.Load()
+	if v == nil {
+		return 0, 0
+	}
+	kept = 1
+	for v.BeginTS > floorTS {
+		n := v.next.Load()
+		if n == nil {
+			return kept, 0
+		}
+		v = n
+		kept++
+	}
+	// v is the boundary: the newest version visible at floorTS. Unlink and
+	// count the strictly-older tail.
+	tail := v.next.Load()
+	if tail == nil {
+		return kept, 0
+	}
+	v.next.Store(nil)
+	for t := tail; t != nil; t = t.next.Load() {
+		pruned++
+	}
+	return kept, pruned
 }
 
 // InstallLWW installs (ts, data) only if ts is newer than the current head
@@ -135,7 +189,7 @@ func (r *Row) InsertVersionSorted(ts TS, data tuple.Tuple, deleted bool) {
 	v := &Version{BeginTS: ts, Deleted: deleted, Data: data}
 	h := r.head.Load()
 	if h == nil || h.BeginTS < ts {
-		v.Next = h
+		v.next.Store(h)
 		r.head.Store(v)
 		return
 	}
@@ -144,12 +198,13 @@ func (r *Row) InsertVersionSorted(ts TS, data tuple.Tuple, deleted bool) {
 		if cur.BeginTS == ts {
 			return
 		}
-		if cur.Next == nil || cur.Next.BeginTS < ts {
-			v.Next = cur.Next
-			cur.Next = v
+		next := cur.next.Load()
+		if next == nil || next.BeginTS < ts {
+			v.next.Store(next)
+			cur.next.Store(v)
 			return
 		}
-		cur = cur.Next
+		cur = next
 	}
 }
 
@@ -167,7 +222,7 @@ func (r *Row) LatestData() tuple.Tuple {
 // BeginTS <= ts), or nil if none is visible or the visible version is a
 // tombstone. Multi-version checkpointing reads historic snapshots this way.
 func (r *Row) ReadAt(ts TS) tuple.Tuple {
-	for v := r.head.Load(); v != nil; v = v.Next {
+	for v := r.head.Load(); v != nil; v = v.next.Load() {
 		if v.BeginTS <= ts {
 			if v.Deleted {
 				return nil
@@ -182,7 +237,7 @@ func (r *Row) ReadAt(ts TS) tuple.Tuple {
 // storage accounting).
 func (r *Row) VersionCount() int {
 	n := 0
-	for v := r.head.Load(); v != nil; v = v.Next {
+	for v := r.head.Load(); v != nil; v = v.next.Load() {
 		n++
 	}
 	return n

@@ -19,9 +19,11 @@ import (
 	"pacman/internal/engine"
 	"pacman/internal/frontend"
 	"pacman/internal/metrics"
+	"pacman/internal/mvcc"
 	"pacman/internal/proc"
 	"pacman/internal/recovery"
 	"pacman/internal/simdisk"
+	"pacman/internal/tuple"
 	"pacman/internal/txn"
 	"pacman/internal/wal"
 	"pacman/internal/workload"
@@ -71,6 +73,13 @@ type RunConfig struct {
 	Seed       int64
 	// SampleEvery sets the throughput-trace resolution.
 	SampleEvery time.Duration
+	// ScanTables, when non-empty, runs a concurrent snapshot scanner for
+	// the whole run: a goroutine repeatedly pins a view at the newest
+	// released epoch and scans the named tables end to end (the mixed
+	// OLTP-plus-analytics workload). The scanner reads outside OCC, so it
+	// can never abort the OLTP writers; RunResult.Scans/ScanStale*/MVCC
+	// report what it saw.
+	ScanTables []string
 }
 
 // Defaults fills zero fields with bench-scale values.
@@ -163,9 +172,29 @@ type RunResult struct {
 	Mallocs int64
 	Trace   []TraceSample
 
+	// MVCC reports the multi-version subsystem's counters at run end
+	// (versions reclaimed, surviving chain lengths, GC floor).
+	MVCC mvcc.Stats
+	// Scans counts completed snapshot scans of the concurrent scanner
+	// (cfg.ScanTables); ScanRows is the total rows it read.
+	Scans    int64
+	ScanRows int64
+	// ScanStaleSum/ScanStaleMax aggregate scan staleness in epochs: how far
+	// each scan's pinned released epoch trailed the then-current epoch.
+	ScanStaleSum int64
+	ScanStaleMax uint32
+
 	// Crash state for recovery experiments.
 	Devices []*simdisk.Device
 	cfg     RunConfig
+}
+
+// ScanStaleMean returns the mean scan staleness in epochs (0 without scans).
+func (r *RunResult) ScanStaleMean() float64 {
+	if r.Scans == 0 {
+		return 0
+	}
+	return float64(r.ScanStaleSum) / float64(r.Scans)
 }
 
 // AllocsPerTxn returns heap allocations per committed transaction, the
@@ -208,19 +237,29 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 		cfg:         cfg,
 	}
 
+	// The retention manager mirrors what pacman.DB.Start wires up: GC kicks
+	// on every persistent-epoch advance, with a ticker sweeping stragglers.
+	var ls *wal.LogSet
+	snap := mvcc.NewManager(w.DB(), mvcc.Config{
+		SnapshotEpoch:  mgr.SnapshotEpoch,
+		PersistedEpoch: func() uint32 { return ls.PersistedEpoch() },
+		Interval:       4 * cfg.EpochInterval,
+	})
 	lcfg := wal.Config{
-		Kind:          cfg.Logging,
-		BatchEpochs:   cfg.BatchEpochs,
-		FlushInterval: cfg.EpochInterval / 4,
-		Sync:          !cfg.DisableSync,
+		Kind:            cfg.Logging,
+		BatchEpochs:     cfg.BatchEpochs,
+		FlushInterval:   cfg.EpochInterval / 4,
+		Sync:            !cfg.DisableSync,
+		OnPepochAdvance: func(uint32) { snap.Kick() },
 	}
-	ls := wal.NewLogSet(mgr, lcfg, devices)
+	ls = wal.NewLogSet(mgr, lcfg, devices)
 	mgr.StartEpochTicker()
 	ls.Start()
+	snap.Start()
 
 	var daemon *checkpoint.Daemon
 	if cfg.CheckpointEvery > 0 {
-		daemon = checkpoint.NewDaemon(mgr, devices, checkpoint.Config{
+		daemon = checkpoint.NewDaemon(mgr, snap, devices, checkpoint.Config{
 			Threads:      cfg.Devices,
 			IncludeSlots: cfg.Logging == wal.Physical,
 		}, cfg.CheckpointEvery)
@@ -289,6 +328,44 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 		}(g)
 	}
 
+	// Concurrent snapshot scanner: back-to-back long scans over the named
+	// tables through pinned views, for the whole run.
+	scannerDone := make(chan struct{})
+	if len(cfg.ScanTables) > 0 {
+		go func() {
+			defer close(scannerDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := snap.Acquire()
+				var rows int64
+				for _, name := range cfg.ScanTables {
+					t := w.DB().Table(name)
+					if t == nil {
+						continue
+					}
+					v.Scan(t, 0, ^uint64(0), func(uint64, tuple.Tuple) bool {
+						rows++
+						return true
+					})
+				}
+				stale := v.Staleness(mgr.Epoch())
+				v.Close()
+				res.Scans++
+				res.ScanRows += rows
+				res.ScanStaleSum += int64(stale)
+				if stale > res.ScanStaleMax {
+					res.ScanStaleMax = stale
+				}
+			}
+		}()
+	} else {
+		close(scannerDone)
+	}
+
 	// Throughput sampler.
 	samplerDone := make(chan struct{})
 	go func() {
@@ -317,6 +394,7 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	}
 	close(stop)
 	wg.Wait()
+	<-scannerDone
 	res.Elapsed = time.Since(start)
 
 	// Drain the frontend (queued work executes, the pool retires) so the
@@ -325,6 +403,8 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	if daemon != nil {
 		daemon.Stop()
 	}
+	snap.Stop()
+	res.MVCC = snap.Stats()
 	if clean {
 		mgr.AdvanceEpoch()
 		mgr.Stop()

@@ -1,0 +1,311 @@
+// Package mvcc is the multi-version snapshot subsystem layered on the
+// storage engine: it decides how long the newest-first version chains that
+// forward processing retains (Larson et al.'s version-chain design) are
+// kept, and hands out consistent epoch-stamped snapshot views over them.
+//
+// The division of labor with its neighbors is deliberate:
+//
+//   - internal/engine stores chains and provides the truncation primitive
+//     but has no retention policy;
+//   - internal/txn installs one new version per write at commit, drawing
+//     from the per-worker pools defined here (the Cicada/MICA per-thread
+//     allocation idiom) so retention costs no allocation on the hot path;
+//   - this package garbage-collects history as the persistent-epoch
+//     frontier of group commit advances, and pins epochs against collection
+//     while snapshot views read them.
+//
+// The visibility rule is the engine's: a view pinned at epoch E reads, per
+// row, the newest version with BeginTS <= MakeTS(E, maxSeq). E is always a
+// *released* epoch — closed by the epoch clock (no transaction can still
+// commit into it) and covered by the persistent epoch when logging is
+// active — so the cut is immutable: re-reading the same view always yields
+// the same data, even under full write load. Snapshot reads never latch
+// rows and never join OCC validation, so they cannot abort writers.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacman/internal/engine"
+	"pacman/internal/metrics"
+)
+
+// ErrReclaimed rejects a view request at an epoch the garbage collector has
+// already truncated history below; the caller can only retry at a newer
+// epoch.
+var ErrReclaimed = errors.New("mvcc: snapshot epoch already reclaimed")
+
+// ErrFutureEpoch rejects a view request at an epoch that is not yet
+// released: either still open for commits or not yet covered by the
+// persistent epoch, so a cut there could still change (or vanish in a
+// crash).
+var ErrFutureEpoch = errors.New("mvcc: snapshot epoch not yet released")
+
+// Config wires a Manager to the epoch frontiers its owner tracks.
+type Config struct {
+	// SnapshotEpoch returns the newest epoch holding a consistent cut:
+	// safe (every worker has moved past it) AND closed (the epoch clock
+	// has advanced beyond it, so no commit can still land inside it).
+	// Typically txn.Manager.SnapshotEpoch.
+	SnapshotEpoch func() uint32
+	// PersistedEpoch returns the group-commit durability frontier
+	// (wal.LogSet.PersistedEpoch). Views pin at released epochs —
+	// min(SnapshotEpoch, PersistedEpoch) — and garbage collection advances
+	// with the same minimum, per the frontier rule below. Nil means no
+	// logging: the snapshot epoch alone bounds views and collection.
+	PersistedEpoch func() uint32
+	// Interval is the periodic garbage-collection cadence. Collection is
+	// primarily kicked by persistent-epoch advances (wal
+	// Config.OnPepochAdvance -> Manager.Kick); the ticker exists to sweep
+	// rows whose latch was contended during a kicked pass and to advance
+	// collection when logging is off. Zero disables the ticker (passes
+	// then run only on Kick).
+	Interval time.Duration
+}
+
+// Stats is a point-in-time observability snapshot of the subsystem,
+// surfaced in bench JSON and pacman-analyze output.
+type Stats struct {
+	// Reclaimed counts versions pruned since the manager started.
+	Reclaimed int64
+	// Passes counts garbage-collection passes.
+	Passes int64
+	// MaxChain is the longest surviving version chain observed during the
+	// most recent pass (0 until a pass has run).
+	MaxChain int64
+	// Floor is the epoch frontier of the most recent pass: history
+	// strictly below it is gone.
+	Floor uint32
+	// Views is the number of currently pinned snapshot views.
+	Views int
+}
+
+// Manager owns retention for one database: it registers snapshot views,
+// computes the collection floor as
+//
+//	floor = min(SnapshotEpoch, PersistedEpoch, oldest pinned view)
+//
+// and truncates every row's chain below the newest version visible at that
+// floor. The persistent-epoch term is what keeps the subsystem honest with
+// recovery: a version at an epoch group commit has not yet released could
+// still be the one a crash rolls the database back to, so it must outlive
+// the pepoch frontier — and conversely, once the frontier passes, REDO-only
+// recovery can never need it again (recovery replays the durable log
+// forward; it never consults in-memory history).
+type Manager struct {
+	db  *engine.Database
+	cfg Config
+
+	mu    sync.Mutex
+	views map[*View]struct{}
+	// floor ratchets up with each pass; view requests below it fail with
+	// ErrReclaimed.
+	floor uint32
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	reclaimed metrics.Counter
+	passes    metrics.Counter
+	maxChain  atomic.Int64
+	lastFloor atomic.Uint32
+}
+
+// NewManager creates a retention manager over db. Call Start to run the
+// collector; a manager that is never started still serves views (nothing is
+// ever reclaimed).
+func NewManager(db *engine.Database, cfg Config) *Manager {
+	return &Manager{
+		db:    db,
+		cfg:   cfg,
+		views: make(map[*View]struct{}),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the collector goroutine.
+func (m *Manager) Start() {
+	go m.loop()
+}
+
+// Stop terminates the collector and waits for it to exit. Idempotent.
+func (m *Manager) Stop() {
+	select {
+	case <-m.stop:
+		return // already stopped
+	default:
+	}
+	close(m.stop)
+	<-m.done
+}
+
+// Kick requests an asynchronous collection pass; the wal pepoch thread
+// calls it on every persistent-epoch advance. Never blocks.
+func (m *Manager) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	var tick <-chan time.Time
+	if m.cfg.Interval > 0 {
+		t := time.NewTicker(m.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.kick:
+		case <-tick:
+		}
+		m.Collect()
+	}
+}
+
+// frontier returns the newest released epoch: the youngest cut that is
+// consistent, immutable, and (with logging active) durable.
+func (m *Manager) frontier() uint32 {
+	f := m.cfg.SnapshotEpoch()
+	if m.cfg.PersistedEpoch != nil {
+		if pe := m.cfg.PersistedEpoch(); pe < f {
+			f = pe
+		}
+	}
+	return f
+}
+
+// Acquire pins a snapshot view at the newest released epoch and returns it.
+// The view's epoch cannot be reclaimed until the view is closed.
+func (m *Manager) Acquire() *View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.frontier()
+	if e < m.floor {
+		// Cannot happen with a monotone frontier (the floor is a past
+		// minimum over it), but never hand out a reclaimed cut.
+		e = m.floor
+	}
+	return m.register(e)
+}
+
+// AcquireFresh pins a snapshot view at the newest *consistent* epoch
+// (SnapshotEpoch), without waiting for group commit to cover it. The
+// checkpoint daemon uses it: a checkpoint is its own durability, and
+// recovery already resumes past a checkpoint whose snapshot exceeds a
+// lagging pepoch — clamping checkpoints to the released frontier would
+// only shrink their log-truncation coverage. The collection floor is
+// unaffected (it never passes the persistent epoch, pinned views or not).
+func (m *Manager) AcquireFresh() *View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.cfg.SnapshotEpoch()
+	if e < m.floor {
+		e = m.floor
+	}
+	return m.register(e)
+}
+
+// AcquireAt pins a snapshot view at a specific epoch. It fails with
+// ErrReclaimed below the collection floor and ErrFutureEpoch above the
+// released frontier.
+func (m *Manager) AcquireAt(epoch uint32) (*View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if epoch < m.floor {
+		return nil, fmt.Errorf("%w: epoch %d < floor %d", ErrReclaimed, epoch, m.floor)
+	}
+	if f := m.frontier(); epoch > f {
+		return nil, fmt.Errorf("%w: epoch %d > released frontier %d", ErrFutureEpoch, epoch, f)
+	}
+	return m.register(epoch), nil
+}
+
+// register must run under mu.
+func (m *Manager) register(epoch uint32) *View {
+	v := &View{m: m, epoch: epoch, ts: engine.MakeTS(epoch, ^uint32(0))}
+	m.views[v] = struct{}{}
+	return v
+}
+
+func (m *Manager) release(v *View) {
+	m.mu.Lock()
+	delete(m.views, v)
+	m.mu.Unlock()
+}
+
+// Collect runs one synchronous collection pass: compute the floor, then
+// truncate every row's chain below the newest version visible there. Rows
+// whose latch is contended are skipped — the next pass catches them — so
+// collection never stalls behind a committing writer.
+func (m *Manager) Collect() {
+	m.mu.Lock()
+	floor := m.frontier()
+	for v := range m.views {
+		if v.epoch < floor {
+			floor = v.epoch
+		}
+	}
+	if floor > m.floor {
+		m.floor = floor
+	} else {
+		// Re-sweep at the established floor: no new history is released,
+		// but latch-contended rows from earlier passes may still carry
+		// reclaimable tails.
+		floor = m.floor
+	}
+	m.mu.Unlock()
+
+	floorTS := engine.MakeTS(floor, ^uint32(0))
+	var pruned, longest int64
+	for _, t := range m.db.Tables() {
+		t.ScanSlots(0, t.NumSlots(), func(r *engine.Row) {
+			if !r.TryLock() {
+				return
+			}
+			kept, cut := r.TruncateVersions(floorTS)
+			r.Unlock()
+			pruned += int64(cut)
+			if int64(kept) > longest {
+				longest = int64(kept)
+			}
+		})
+	}
+	m.reclaimed.Add(pruned)
+	m.passes.Inc()
+	m.maxChain.Store(longest)
+	m.lastFloor.Store(floor)
+}
+
+// Floor returns the current collection floor (the oldest epoch any new view
+// may pin).
+func (m *Manager) Floor() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.floor
+}
+
+// Stats reports the subsystem's observability counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	nviews := len(m.views)
+	m.mu.Unlock()
+	return Stats{
+		Reclaimed: m.reclaimed.Load(),
+		Passes:    m.passes.Load(),
+		MaxChain:  m.maxChain.Load(),
+		Floor:     m.lastFloor.Load(),
+		Views:     nviews,
+	}
+}

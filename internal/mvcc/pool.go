@@ -1,0 +1,50 @@
+package mvcc
+
+import (
+	"pacman/internal/engine"
+	"pacman/internal/tuple"
+)
+
+// poolChunk is how many versions one pool slab holds. 256 amortizes the
+// slab allocation to well under 1/100 of an allocation per installed
+// version while keeping a retired slab (freed as one object once every
+// version in it is unreachable) small enough not to pin history.
+const poolChunk = 256
+
+// Pool is a per-worker version allocator: the Cicada/MICA per-thread
+// memory-pool idiom. Each worker owns one, so Prepare needs no
+// synchronization; versions are carved out of chunked slabs, making
+// multi-version retention effectively allocation-free on the commit hot
+// path (one slab allocation per poolChunk versions).
+//
+// Versions are never recycled: a truncated chain tail simply becomes
+// unreachable and the runtime frees its slab when the last version in it
+// does. Recycling would require proving no concurrent lock-free reader can
+// still hold the pointer — exactly the hazard-tracking machinery the
+// epoch-pinned view registry exists to avoid.
+type Pool struct {
+	chunk []engine.Version
+	next  int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Prepare returns a version initialized with (ts, data, deleted), ready for
+// Row.InstallPrepared. A nil pool degrades to a plain heap allocation, so
+// paths without a worker pool (tests, recovery) need no special casing.
+func (p *Pool) Prepare(ts engine.TS, data tuple.Tuple, deleted bool) *engine.Version {
+	if p == nil {
+		return &engine.Version{BeginTS: ts, Deleted: deleted, Data: data}
+	}
+	if p.next == len(p.chunk) {
+		p.chunk = make([]engine.Version, poolChunk)
+		p.next = 0
+	}
+	v := &p.chunk[p.next]
+	p.next++
+	v.BeginTS = ts
+	v.Deleted = deleted
+	v.Data = data
+	return v
+}

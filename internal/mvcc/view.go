@@ -1,0 +1,68 @@
+package mvcc
+
+import (
+	"sync/atomic"
+
+	"pacman/internal/engine"
+	"pacman/internal/tuple"
+)
+
+// View is a pinned consistent snapshot: all reads through it observe the
+// database exactly as of the end of its epoch. Reads are lock-free and
+// validation-free — a view never aborts a writer and a writer never blocks
+// a view. Views are safe for concurrent use by multiple goroutines; Close
+// unpins the epoch (reads after Close are not checked — close when done).
+type View struct {
+	m      *Manager
+	epoch  uint32
+	ts     engine.TS
+	closed atomic.Bool
+}
+
+// Epoch returns the released epoch the view is pinned at.
+func (v *View) Epoch() uint32 { return v.epoch }
+
+// TS returns the inclusive visibility timestamp of the cut:
+// MakeTS(epoch, maxSeq).
+func (v *View) TS() engine.TS { return v.ts }
+
+// Staleness reports how many epochs the view trails the given current
+// epoch (0 when current has not moved past the cut).
+func (v *View) Staleness(current uint32) uint32 {
+	if current <= v.epoch {
+		return 0
+	}
+	return current - v.epoch
+}
+
+// Get returns the tuple of key visible at the cut, or nil if the key was
+// absent (or deleted) then.
+func (v *View) Get(t *engine.Table, key uint64) tuple.Tuple {
+	r, ok := t.GetRow(key)
+	if !ok {
+		return nil
+	}
+	return r.ReadAt(v.ts)
+}
+
+// Scan iterates, in key order, every row of t with key in [lo, hi) that was
+// visible at the cut, until fn returns false. Rows inserted after the cut
+// are skipped (their oldest version postdates it); rows deleted after the
+// cut still yield their historic tuple.
+func (v *View) Scan(t *engine.Table, lo, hi uint64, fn func(key uint64, data tuple.Tuple) bool) {
+	t.ScanIndex(lo, hi, func(r *engine.Row) bool {
+		d := r.ReadAt(v.ts)
+		if d == nil {
+			return true
+		}
+		return fn(r.Key, d)
+	})
+}
+
+// Close unpins the view's epoch, allowing garbage collection past it.
+// Idempotent.
+func (v *View) Close() {
+	if v.closed.CompareAndSwap(false, true) {
+		v.m.release(v)
+	}
+}

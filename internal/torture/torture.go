@@ -143,6 +143,10 @@ type Stats struct {
 	TransientReadFaults int
 	// Checkpoints counts checkpoints that completed during serve phases.
 	Checkpoints int
+	// SnapScans counts snapshot-scan oracle passes completed during serve
+	// phases (each pass checks ledger-pair atomicity at a released cut and
+	// re-scan immutability of the pinned view).
+	SnapScans int
 	// Stamps counts ledger pairs written (the per-txn read-back oracle).
 	Stamps int
 	// Replayed is the final recovery's entry count.
@@ -154,9 +158,9 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	out := fmt.Sprintf("cycles=%d acked=%d (logged %d) maybe=%d rejected=%d aborted=%d serveTrips=%d recoveryCrashes=%d transientReads=%d ckpts=%d stamps=%d replayed=%d",
+	out := fmt.Sprintf("cycles=%d acked=%d (logged %d) maybe=%d rejected=%d aborted=%d serveTrips=%d recoveryCrashes=%d transientReads=%d ckpts=%d snapScans=%d stamps=%d replayed=%d",
 		s.Cycles, s.Acked, s.AckedLogged, s.Maybe, s.Rejected, s.Aborted,
-		s.ServeTrips, s.RecoveryCrashes, s.TransientReadFaults, s.Checkpoints, s.Stamps, s.Replayed)
+		s.ServeTrips, s.RecoveryCrashes, s.TransientReadFaults, s.Checkpoints, s.SnapScans, s.Stamps, s.Replayed)
 	if s.ShardKills > 0 || s.RouterKills > 0 {
 		out += fmt.Sprintf(" shardKills=%d routerKills=%d", s.ShardKills, s.RouterKills)
 	}
@@ -239,6 +243,9 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		if faults := h.oracle.absorb(js, st); len(faults) > 0 {
 			return st, violation(cycle, faults)
+		}
+		if len(h.scanFaults) > 0 {
+			return st, violation(cycle, h.scanFaults)
 		}
 
 		if cfg.Hook != nil {
@@ -348,6 +355,9 @@ type harness struct {
 	ledgerPairs int
 	nextStamp   atomic.Int64
 	stampsUsed  atomic.Int64
+	// scanFaults accumulates snapshot-scan oracle failures from the serve
+	// phase's concurrent scanner (appended post-serve, read by Run).
+	scanFaults []string
 }
 
 func (h *harness) logf(cfg Config, format string, args ...any) {
@@ -536,6 +546,34 @@ func (h *harness) serve(cfg Config, db *pacman.DB, cycle int, tripped <-chan str
 	}
 	go func() { wg.Wait(); close(done) }()
 
+	// Concurrent snapshot-scan oracle: while traffic (and possibly a
+	// checkpoint) runs, a scanner pins released cuts and checks the two
+	// promises only a consistent immutable snapshot can keep — ledger pairs
+	// are never torn at the cut, and re-reading the same view reproduces
+	// the identical data. It runs right through the power failure: views
+	// over the frozen post-crash state must hold the same promises.
+	scanStop := make(chan struct{})
+	scanDone := make(chan struct{})
+	var scanFaults []string
+	go func() {
+		defer close(scanDone)
+		for {
+			select {
+			case <-scanStop:
+				return
+			default:
+			}
+			if f := h.snapScanOnce(db); f != "" {
+				scanFaults = append(scanFaults, f)
+				return
+			}
+			st.SnapScans++
+			// One pass per epoch or so; back-to-back scanning would only
+			// re-pin the same cut while starving the traffic it audits.
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
 	// Mid-traffic checkpoint, inside the fault window.
 	if takeCkpt {
 		time.Sleep(time.Duration(1+cycle%3) * time.Millisecond)
@@ -556,8 +594,54 @@ func (h *harness) serve(cfg Config, db *pacman.DB, cycle int, tripped <-chan str
 	<-done
 	fe.Close()
 	wg.Wait()
+	close(scanStop)
+	<-scanDone
 	st.Stamps = int(h.stampsUsed.Load())
+	h.scanFaults = append(h.scanFaults, scanFaults...)
 	return js
+}
+
+// snapScanOnce pins one snapshot view of the torture ledger and verifies
+// the cut. TortureStamp writes the same value to both rows of a pair in one
+// transaction, so a consistent cut can never observe a half-written pair —
+// torn here means snapshot reads leak uncommitted or unreleased state. The
+// second pass re-reads the same view: a released epoch is immutable, so any
+// difference means the cut moved under a pinned view. Returns "" when the
+// cut holds, a fault description otherwise.
+func (h *harness) snapScanOnce(db *pacman.DB) string {
+	v, err := db.SnapshotView(0)
+	if err != nil {
+		return fmt.Sprintf("snapshot view: %v", err)
+	}
+	defer v.Close()
+	ledger := db.Table(ledgerTable)
+	vals := make(map[uint64]int64, 2*h.ledgerPairs)
+	v.Scan(ledger, 0, ^uint64(0), func(k uint64, row pacman.Tuple) bool {
+		vals[k] = row[1].Int()
+		return true
+	})
+	for i := 0; i < h.ledgerPairs; i++ {
+		a, b := vals[pairKeyA(i)], vals[pairKeyB(i)]
+		if a != b {
+			return fmt.Sprintf("snapshot scan at epoch %d observed torn ledger pair %d: a=%d b=%d", v.Epoch(), i, a, b)
+		}
+	}
+	diff := ""
+	v.Scan(ledger, 0, ^uint64(0), func(k uint64, row pacman.Tuple) bool {
+		if row[1].Int() != vals[k] {
+			diff = fmt.Sprintf("pinned view at epoch %d not immutable: ledger key %d read %d then %d", v.Epoch(), k, vals[k], row[1].Int())
+			return false
+		}
+		delete(vals, k)
+		return true
+	})
+	if diff != "" {
+		return diff
+	}
+	if len(vals) != 0 {
+		return fmt.Sprintf("pinned view at epoch %d not immutable: %d ledger rows vanished on re-scan", v.Epoch(), len(vals))
+	}
+	return ""
 }
 
 // generate submits one transaction of the mix and returns it with oracle

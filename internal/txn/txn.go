@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pacman/internal/engine"
+	"pacman/internal/mvcc"
 	"pacman/internal/proc"
 	"pacman/internal/tuple"
 )
@@ -176,6 +177,7 @@ func (m *Manager) Stop() {
 func (m *Manager) NewWorker() *Worker {
 	w := &Worker{mgr: m}
 	w.scratch.mgr = m
+	w.scratch.pool = mvcc.NewPool()
 	w.mark.Store(uint64(m.epoch.Load()))
 	m.mu.Lock()
 	w.id = len(m.workers)
@@ -464,6 +466,10 @@ type T struct {
 	// membership probe instead of the former per-transaction map or an
 	// O(reads×writes) scan.
 	token uint64
+	// pool is the worker's per-thread version allocator; the commit install
+	// draws retained versions from it instead of the heap. Nil (direct T
+	// construction in tests) degrades to heap allocation inside Prepare.
+	pool *mvcc.Pool
 }
 
 // begin resets the scratch for a fresh attempt. Entries are cleared before
@@ -693,11 +699,12 @@ func (t *T) commit() (engine.TS, error) {
 		}
 	}
 
-	// Phase 4: install and unlock.
+	// Phase 4: install and unlock. Versions come from the worker's pool so
+	// multi-version retention adds no per-write heap allocation.
 	retain := t.mgr.cfg.MultiVersion
 	for i := range t.writes {
 		w := &t.writes[i]
-		w.row.Install(ts, w.data, w.deleted, retain)
+		w.row.InstallPrepared(t.pool.Prepare(ts, w.data, w.deleted), retain)
 	}
 	unlock()
 	return ts, nil

@@ -206,7 +206,7 @@ func TestTimestampsOrderConflicts(t *testing.T) {
 	row, _ := b.DB().Table("Current").GetRow(1)
 	prev := engine.TS(^uint64(0))
 	n := 0
-	for v := row.Head(); v != nil; v = v.Next {
+	for v := row.Head(); v != nil; v = v.Next() {
 		if v.BeginTS >= prev {
 			t.Fatalf("version chain out of order: %d then %d", prev, v.BeginTS)
 		}

@@ -55,6 +55,13 @@ type Config struct {
 	// commit-record pool while an observer is configured), so it may
 	// retain both past the call.
 	OnRelease func([]*txn.Committed)
+	// OnPepochAdvance, if set, is called from the pepoch thread each time
+	// the persistent epoch advances, with the new value. The multi-version
+	// garbage collector keys off it: versions strictly older than the
+	// persistent-epoch frontier can never again be needed by recovery or by
+	// snapshot views pinned at released epochs. The callback runs on the
+	// pepoch goroutine and must not block.
+	OnPepochAdvance func(pe uint32)
 }
 
 // DefaultConfig returns the standard logging configuration for the given
@@ -362,6 +369,9 @@ func (s *LogSet) updatePepoch() {
 		s.peMu.Lock()
 		s.peCond.Broadcast()
 		s.peMu.Unlock()
+		if s.cfg.OnPepochAdvance != nil {
+			s.cfg.OnPepochAdvance(pe)
+		}
 	}
 	// Release covered transactions: resolve each durable-commit future,
 	// then surface the same epoch batch to the OnRelease observer (the

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws keys in [0, n) under a zipfian distribution with skew theta,
+// the YCSB generator (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases"): rank 0 is the hottest key, and theta in (0, 1)
+// controls how steeply popularity falls off — 0.99 is the YCSB default,
+// where a few percent of keys absorb most of the accesses. The skewed-key
+// mixes use it to concentrate writer traffic so snapshot scans observe
+// long version chains on hot rows rather than uniform dribble.
+//
+// A Zipf is immutable after construction and safe for concurrent use; all
+// randomness comes from the *rand.Rand passed to Next, so each worker keeps
+// its own rng and draws race-free without sharing state.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // zeta(2, theta), the two-element harmonic prefix
+}
+
+// NewZipf builds a generator over n keys with skew theta. It panics on
+// n == 0 or theta outside (0, 1) — the hot-key experiments have no
+// meaningful uniform (theta=0) or super-linear (theta>=1) modes, and a
+// silent fallback would fake skew the benchmark claims to measure.
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("workload: Zipf over zero keys")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: Zipf theta must be in (0, 1)")
+	}
+	zetan := zeta(n, theta)
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		half:  zeta(2, theta),
+	}
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.half/zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the size of the key space.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Next draws the next key in [0, n); rank 0 is the most popular.
+func (z *Zipf) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestZipfRangeAndDeterminism(t *testing.T) {
+	z := NewZipf(1000, 0.99)
+	if z.N() != 1000 || z.Theta() != 0.99 {
+		t.Fatalf("params = %d/%v", z.N(), z.Theta())
+	}
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		ka, kb := z.Next(a), z.Next(b)
+		if ka != kb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ka, kb)
+		}
+		if ka >= 1000 {
+			t.Fatalf("draw %d out of range: %d", i, ka)
+		}
+	}
+}
+
+// TestZipfSkew: with theta=0.99 the head of the popularity ranking must
+// dominate, and lowering theta must flatten the distribution.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	headShare := func(theta float64) float64 {
+		z := NewZipf(n, theta)
+		rng := rand.New(rand.NewSource(42))
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next(rng)]++
+		}
+		// Share of draws landing in the 10 hottest ranks.
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for _, c := range counts[:10] {
+			top += c
+		}
+		return float64(top) / draws
+	}
+	hot := headShare(0.99)
+	mild := headShare(0.5)
+	if hot < 0.35 {
+		t.Fatalf("theta=0.99 top-10 share = %v, want heavy skew", hot)
+	}
+	if mild >= hot {
+		t.Fatalf("skew not monotone in theta: 0.5 -> %v, 0.99 -> %v", mild, hot)
+	}
+	if mild > 0.2 {
+		t.Fatalf("theta=0.5 top-10 share = %v, want mild skew", mild)
+	}
+}
+
+// TestZipfCoversTail: even under heavy skew the generator must still reach
+// cold keys (it is a distribution over all n ranks, not a truncation).
+func TestZipfCoversTail(t *testing.T) {
+	z := NewZipf(100, 0.99)
+	rng := rand.New(rand.NewSource(3))
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100000; i++ {
+		seen[z.Next(rng)] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("only %d/100 ranks ever drawn", len(seen))
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     uint64
+		theta float64
+	}{
+		{"zero keys", 0, 0.5},
+		{"theta zero", 10, 0},
+		{"theta one", 10, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			NewZipf(tc.n, tc.theta)
+		})
+	}
+}

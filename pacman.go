@@ -51,6 +51,7 @@ import (
 	"pacman/internal/checkpoint"
 	"pacman/internal/engine"
 	"pacman/internal/metrics"
+	"pacman/internal/mvcc"
 	"pacman/internal/proc"
 	"pacman/internal/recovery"
 	"pacman/internal/sched"
@@ -92,6 +93,14 @@ type (
 	GDG = analysis.GDG
 	// ReplayMode selects CLR-P's parallelism level.
 	ReplayMode = sched.Mode
+	// SnapshotView is a pinned consistent snapshot of the database at a
+	// released epoch: reads through it never latch rows, never join OCC
+	// validation, and therefore never abort writers. Close it when done so
+	// version garbage collection can pass its epoch.
+	SnapshotView = mvcc.View
+	// MVCCStats reports the multi-version subsystem's observability
+	// counters (versions reclaimed, chain lengths, GC floor, pinned views).
+	MVCCStats = mvcc.Stats
 )
 
 // Logging schemes.
@@ -196,6 +205,7 @@ type DB struct {
 	reg     *proc.Registry
 	mgr     *txn.Manager
 	logset  *wal.LogSet
+	snap    *mvcc.Manager
 	daemon  *checkpoint.Daemon
 	devices []*Device
 	started bool
@@ -360,12 +370,25 @@ func (d *DB) Start() error {
 	// guards (NewSession, NewFrontend) keep rejecting.
 	d.started = true
 	d.mgr.StartEpochTicker()
+	if !d.opts.SingleVersion {
+		// The retention manager: version chains grow with forward processing
+		// and are cut back as the persistent-epoch frontier advances (the
+		// OnPepochAdvance kick below), or on the ticker when logging is off.
+		d.snap = mvcc.NewManager(d.db, mvcc.Config{
+			SnapshotEpoch:  d.mgr.SnapshotEpoch,
+			PersistedEpoch: d.PersistedEpoch,
+			Interval:       4 * d.opts.EpochInterval,
+		})
+	}
 	cfg := wal.Config{
 		Kind:          d.opts.Logging,
 		BatchEpochs:   d.opts.BatchEpochs,
 		FlushInterval: d.opts.EpochInterval / 4,
 		Sync:          !d.opts.DisableSync,
 		ResumeEpoch:   d.resumePepoch,
+	}
+	if d.snap != nil {
+		cfg.OnPepochAdvance = func(uint32) { d.snap.Kick() }
 	}
 	if d.opts.OnRelease != nil {
 		rel := d.opts.OnRelease
@@ -381,12 +404,15 @@ func (d *DB) Start() error {
 	}
 	d.logset = wal.NewLogSet(d.mgr, cfg, d.devices)
 	d.logset.Start()
+	if d.snap != nil {
+		d.snap.Start()
+	}
 	if d.opts.CheckpointEvery > 0 {
 		ct := d.opts.CheckpointThreads
 		if ct <= 0 {
 			ct = len(d.devices)
 		}
-		d.daemon = checkpoint.NewDaemon(d.mgr, d.devices, checkpoint.Config{
+		d.daemon = checkpoint.NewDaemon(d.mgr, d.snap, d.devices, checkpoint.Config{
 			Threads:      ct,
 			IncludeSlots: d.opts.Logging == wal.Physical,
 		}, d.opts.CheckpointEvery)
@@ -478,19 +504,78 @@ func (d *DB) Checkpoint() error {
 		_, err := d.daemon.RunOnce()
 		return err
 	}
-	se := d.mgr.SnapshotEpoch()
+	ts := engine.MakeTS(d.mgr.SnapshotEpoch(), ^uint32(0))
+	if d.snap != nil {
+		// Pin the cut so garbage collection cannot truncate the history the
+		// checkpoint is streaming while commits continue alongside it.
+		v := d.snap.AcquireFresh()
+		defer v.Close()
+		ts = v.TS()
+	}
 	_, err := checkpoint.Write(d.db, d.devices, checkpoint.Config{
 		Threads:      len(d.devices),
 		IncludeSlots: d.opts.Logging == wal.Physical,
-	}, d.ckptSeed+d.manualCkpts.Add(1), engine.MakeTS(se, ^uint32(0)))
+	}, d.ckptSeed+d.manualCkpts.Add(1), ts)
 	return err
 }
+
+// ErrSingleVersion rejects snapshot reads on an instance running with
+// Options.SingleVersion: without retained version chains there is no
+// consistent historic cut to read.
+var ErrSingleVersion = errors.New("pacman: snapshot views require multi-version retention (unset Options.SingleVersion)")
+
+// Snapshot-view errors for explicit-epoch requests, re-exported so callers
+// can classify without importing internals.
+var (
+	// ErrSnapshotReclaimed: the requested epoch is below the garbage
+	// collector's floor — its history is gone. Retry at a newer epoch.
+	ErrSnapshotReclaimed = mvcc.ErrReclaimed
+	// ErrSnapshotFuture: the requested epoch is not yet released (still
+	// open for commits, or not yet durable under group commit).
+	ErrSnapshotFuture = mvcc.ErrFutureEpoch
+)
+
+// SnapshotView pins a consistent snapshot of the database and returns it.
+// epoch 0 means "the newest released epoch"; an explicit epoch pins that
+// exact cut, failing with ErrSnapshotReclaimed below the GC floor or
+// ErrSnapshotFuture above the released frontier. Reads through the view
+// (and Frontend.Scan, which wraps it) never abort or block writers. Close
+// the view when done — its epoch is pinned against version garbage
+// collection until then.
+func (d *DB) SnapshotView(epoch uint32) (*SnapshotView, error) {
+	if !d.started {
+		return nil, ErrNotStarted
+	}
+	if d.snap == nil {
+		return nil, ErrSingleVersion
+	}
+	if epoch == 0 {
+		return d.snap.Acquire(), nil
+	}
+	return d.snap.AcquireAt(epoch)
+}
+
+// MVCCStats reports the multi-version subsystem's counters (zero value on a
+// single-version or not-started instance).
+func (d *DB) MVCCStats() MVCCStats {
+	if d.snap == nil {
+		return MVCCStats{}
+	}
+	return d.snap.Stats()
+}
+
+// Epoch returns the current (open) commit epoch; the difference to a
+// SnapshotView's Epoch is the view's staleness.
+func (d *DB) Epoch() uint32 { return d.mgr.Epoch() }
 
 // Close shuts the instance down cleanly: retires nothing by itself (retire
 // sessions first), flushes all logs, and stops background goroutines.
 func (d *DB) Close() {
 	if d.daemon != nil {
 		d.daemon.Stop()
+	}
+	if d.snap != nil {
+		d.snap.Stop()
 	}
 	d.mgr.Stop()
 	if d.logset != nil {
@@ -505,6 +590,9 @@ func (d *DB) Close() {
 func (d *DB) Crash() {
 	if d.daemon != nil {
 		d.daemon.Stop()
+	}
+	if d.snap != nil {
+		d.snap.Stop()
 	}
 	d.mgr.Stop()
 	if d.logset != nil {
