@@ -6,7 +6,7 @@ GO ?= go
 # over 8 sessions, crash resolution); internal/frontend has the pool-level
 # drain/backpressure/ordering tests; torture/simdisk/checkpoint carry the
 # crash-injection subsystem and its fault plane.
-RACE_PKGS := . ./client/... ./internal/wire/... ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/mvcc/... ./internal/engine/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/... ./internal/shard/... ./cmd/pacman-router/...
+RACE_PKGS := . ./client/... ./internal/wire/... ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/mvcc/... ./internal/engine/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/... ./internal/shard/... ./internal/health/... ./cmd/pacman-router/...
 
 .PHONY: check fmt vet build test race torture smoke bench bench-all docs
 
@@ -47,10 +47,12 @@ torture:
 # (router + 2PC throughput scaling at 1/2/4 shards and the cross-shard
 # ratio sweep, emitting BENCH_shard.json) and the mixed OLTP+snapshot-scan
 # experiment (tps with/without a concurrent scanner, scan staleness in
-# epochs, MVCC GC counters, emitting BENCH_mixed.json). Machine-readable
-# BENCH_<experiment>.json results land in bench-results/.
+# epochs, MVCC GC counters, emitting BENCH_mixed.json), and the
+# gray-failure experiment (deadline-bounded traffic vs slow/hung devices,
+# watchdog detection, gray torture oracle, emitting BENCH_gray.json).
+# Machine-readable BENCH_<experiment>.json results land in bench-results/.
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,mixed,restart,torture,net,shard -duration 300ms -workers 2 -json bench-results
+	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,mixed,restart,torture,net,shard,gray -duration 300ms -workers 2 -json bench-results
 
 # The documentation gate: the spec-first doc-drift test (wire constants vs
 # docs/PROTOCOL.md's normative tables), the relative-link check over

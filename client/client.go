@@ -29,12 +29,14 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pacman"
+	"pacman/internal/health"
 	"pacman/internal/proc"
 	"pacman/internal/wire"
 )
@@ -68,6 +70,13 @@ type Config struct {
 	// shard without waiting for a Submit to time out. Zero disables
 	// keepalive (the default).
 	KeepAlive time.Duration
+	// RetryBudget caps how many times one call is resubmitted after a
+	// server-side shed (Backpressure or Draining — both guarantee the
+	// request never executed). When the budget runs out the call's future
+	// resolves with a StatusError carrying the attempt count (unwrapping to
+	// wire.ErrBackpressure). Zero means retry forever (the pre-budget
+	// behavior: callers that prefer blocking to shedding keep it).
+	RetryBudget int
 	// Logf, when set, receives connection-lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -98,6 +107,7 @@ type Future struct {
 	start time.Time
 	ts    pacman.TS
 	err   error
+	timer atomic.Pointer[time.Timer] // client-side deadline expiry; nil when no deadline
 }
 
 func newFuture() *Future {
@@ -111,6 +121,9 @@ func (f *Future) resolve(ts pacman.TS, err error) {
 	f.ts = ts
 	f.err = err
 	close(f.done)
+	if t := f.timer.Load(); t != nil {
+		t.Stop()
+	}
 }
 
 // Wait blocks until resolution and returns the commit timestamp and the
@@ -158,6 +171,10 @@ type call struct {
 	frame    uint8 // FrameSubmit (zero value defaults to it), FramePrepare, or FrameDecide
 	reqID    uint64
 	attempts int
+	// deadline, when non-zero, rides the Submit frame as a relative timeout
+	// (re-derived at each send, so retries carry only the remaining budget)
+	// and arms a client-side expiry timer on the future.
+	deadline time.Time
 }
 
 // link is one live connection incarnation: its own window semaphore,
@@ -196,6 +213,88 @@ type Client struct {
 
 	nextReq atomic.Uint64
 	wantAck chan struct{} // signals the maintainer to (re)dial
+
+	// Liveness telemetry: ping round-trips (keepalive probes and explicit
+	// Pings both count) and connection/retry churn, exposed via Stats. A
+	// shard router's breaker uses Pongs to confirm a suspect shard answered
+	// a probe before half-opening.
+	rtt        health.EWMA
+	lastRTT    atomic.Int64
+	pings      atomic.Uint64
+	pongs      atomic.Uint64
+	reconnects atomic.Uint64
+	retries    atomic.Uint64
+	shed       atomic.Uint64
+
+	pingMu sync.Mutex
+	pingAt map[uint64]time.Time // reqID -> send time of unanswered pings
+}
+
+// Stats is a point-in-time snapshot of a client's liveness telemetry.
+type Stats struct {
+	// RTT is the smoothed (EWMA) ping round-trip time; zero until the first
+	// pong. LastRTT is the most recent single sample.
+	RTT     time.Duration `json:"rtt"`
+	LastRTT time.Duration `json:"last_rtt"`
+	// Pings/Pongs count probes sent and answered across all connections.
+	Pings uint64 `json:"pings"`
+	Pongs uint64 `json:"pongs"`
+	// Reconnects counts successful redials after the initial connection.
+	Reconnects uint64 `json:"reconnects"`
+	// Retries counts backpressure/draining resubmissions; Shed counts calls
+	// failed because their RetryBudget ran out.
+	Retries uint64 `json:"retries"`
+	Shed    uint64 `json:"shed"`
+}
+
+// Stats returns the client's liveness telemetry: smoothed ping RTT,
+// probe and reconnect counters, and retry churn.
+func (c *Client) Stats() Stats {
+	return Stats{
+		RTT:        c.rtt.Load(),
+		LastRTT:    time.Duration(c.lastRTT.Load()),
+		Pings:      c.pings.Load(),
+		Pongs:      c.pongs.Load(),
+		Reconnects: c.reconnects.Load(),
+		Retries:    c.retries.Load(),
+		Shed:       c.shed.Load(),
+	}
+}
+
+// sendPing writes one Ping frame on l and records its send time so the
+// matching Pong yields an RTT sample.
+func (c *Client) sendPing(l *link) error {
+	id := c.nextReq.Add(1)
+	c.pingMu.Lock()
+	if c.pingAt == nil {
+		c.pingAt = make(map[uint64]time.Time)
+	}
+	if len(c.pingAt) > 16 {
+		// Unanswered probes from dead links; drop them rather than grow.
+		clear(c.pingAt)
+	}
+	c.pingAt[id] = time.Now()
+	c.pingMu.Unlock()
+	c.pings.Add(1)
+	l.wmu.Lock()
+	err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FramePing, ReqID: id}, nil)
+	l.wmu.Unlock()
+	return err
+}
+
+// pong records a Pong answering one of our probes.
+func (c *Client) pong(reqID uint64) {
+	c.pingMu.Lock()
+	sent, ok := c.pingAt[reqID]
+	delete(c.pingAt, reqID)
+	c.pingMu.Unlock()
+	if !ok {
+		return
+	}
+	rtt := time.Since(sent)
+	c.pongs.Add(1)
+	c.lastRTT.Store(int64(rtt))
+	c.rtt.Observe(rtt)
 }
 
 // Dial connects to a pacmand endpoint ("tcp" or "unix") and performs the
@@ -229,6 +328,10 @@ func (c *Client) connect() (*link, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The handshake shares the dial budget: a gray endpoint that accepts
+	// the TCP connection but never answers Hello must fail the attempt,
+	// not wedge the redial loop forever.
+	nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
 	if err := wire.WriteFrame(nc, wire.Header{Type: wire.FrameHello}, wire.AppendHello(nil, wire.V1, wire.V1)); err != nil {
 		nc.Close()
 		return nil, err
@@ -268,6 +371,7 @@ func (c *Client) connect() (*link, error) {
 	for i, name := range procs {
 		l.procs[name] = uint32(i)
 	}
+	nc.SetDeadline(time.Time{}) // handshake done; steady state has no I/O deadline
 	l.lastRecv.Store(time.Now().UnixNano())
 	go c.readLoop(l)
 	if c.cfg.KeepAlive > 0 {
@@ -301,10 +405,7 @@ func (c *Client) keepalive(l *link) {
 				return
 			}
 			awaiting = true
-			l.wmu.Lock()
-			err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FramePing, ReqID: c.nextReq.Add(1)}, nil)
-			l.wmu.Unlock()
-			if err != nil {
+			if err := c.sendPing(l); err != nil {
 				l.fail()
 				return
 			}
@@ -312,8 +413,23 @@ func (c *Client) keepalive(l *link) {
 	}
 }
 
+// jitterBackoff returns a full-jitter delay for the given zero-based
+// attempt: uniform in (0, min(max, min<<attempt)]. Full jitter (rather
+// than a deterministic doubling) keeps a fleet of clients whose server
+// just bounced from reconnecting — and re-colliding — in lockstep.
+func jitterBackoff(min, max time.Duration, attempt int) time.Duration {
+	cap := min << attempt
+	if attempt >= 30 || cap <= 0 || cap > max { // shift overflow guard
+		cap = max
+	}
+	if cap <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(cap))) + 1
+}
+
 // maintain owns the link lifecycle: whenever the current link dies, dial a
-// replacement with exponential backoff until Close.
+// replacement with jittered exponential backoff until Close.
 func (c *Client) maintain() {
 	for {
 		c.mu.Lock()
@@ -336,8 +452,7 @@ func (c *Client) maintain() {
 			c.link = nil
 		}
 		c.mu.Unlock()
-		backoff := c.cfg.BackoffMin
-		for {
+		for attempt := 0; ; attempt++ {
 			c.mu.Lock()
 			closed := c.closed
 			c.mu.Unlock()
@@ -350,14 +465,13 @@ func (c *Client) maintain() {
 				c.link = nl
 				c.cond.Broadcast()
 				c.mu.Unlock()
+				c.reconnects.Add(1)
 				c.logf("client: reconnected to %s", c.addr)
 				break
 			}
+			backoff := jitterBackoff(c.cfg.BackoffMin, c.cfg.BackoffMax, attempt)
 			c.logf("client: dial %s: %v (retrying in %v)", c.addr, err, backoff)
 			time.Sleep(backoff)
-			if backoff *= 2; backoff > c.cfg.BackoffMax {
-				backoff = c.cfg.BackoffMax
-			}
 		}
 	}
 }
@@ -442,7 +556,8 @@ func (c *Client) readLoop(l *link) {
 			l.draining = true
 			l.pmu.Unlock()
 		case wire.FramePong:
-			// Liveness answer; nothing pending on it.
+			// Liveness answer: match it to our probe for an RTT sample.
+			c.pong(h.ReqID)
 		default:
 			c.logf("client: unexpected %s from server", wire.FrameName(h.Type))
 			return
@@ -450,13 +565,23 @@ func (c *Client) readLoop(l *link) {
 	}
 }
 
-// retryLater reschedules a never-executed call with exponential backoff.
+// retryLater reschedules a never-executed call with jittered exponential
+// backoff, or fails it fast when its retry budget is spent — the client's
+// half of shedding under brownout: a server emitting Backpressure on every
+// Submit should push typed errors to callers, not an unbounded retry storm.
 func (c *Client) retryLater(cl *call) {
 	cl.attempts++
-	delay := c.cfg.BackoffMin << (cl.attempts - 1)
-	if delay > c.cfg.BackoffMax || delay <= 0 {
-		delay = c.cfg.BackoffMax
+	if c.cfg.RetryBudget > 0 && cl.attempts >= c.cfg.RetryBudget {
+		c.shed.Add(1)
+		cl.fut.resolve(0, &wire.StatusError{
+			Code:     wire.CodeBackpressure,
+			Msg:      "server shedding load",
+			Attempts: cl.attempts,
+		})
+		return
 	}
+	c.retries.Add(1)
+	delay := jitterBackoff(c.cfg.BackoffMin, c.cfg.BackoffMax, cl.attempts-1)
 	time.AfterFunc(delay, func() { c.dispatch(cl) })
 }
 
@@ -495,10 +620,62 @@ func (c *Client) Decide(name string, args pacman.Args) *Future {
 	return cl.fut
 }
 
+// SubmitWithin is Submit with a per-request timeout: the deadline rides the
+// Submit frame (as a relative timeout, so clock skew cannot distort it) and
+// the server sheds the request wherever it expires — admission, dequeue, or
+// the durability pipeline. The client arms its own expiry timer too, so the
+// future resolves CodeDeadlineExceeded on time even if the server (or the
+// network) has wedged. Like a connection loss, a deadline expiry leaves the
+// execution state unknown: the transaction may still commit durably.
+func (c *Client) SubmitWithin(name string, args pacman.Args, timeout time.Duration) *Future {
+	return c.submitDeadline(name, args, false, timeout)
+}
+
+// SubmitAdHocWithin is SubmitAdHoc with a per-request timeout.
+func (c *Client) SubmitAdHocWithin(name string, args pacman.Args, timeout time.Duration) *Future {
+	return c.submitDeadline(name, args, true, timeout)
+}
+
+// PrepareWithin is Prepare with a per-request timeout — how a shard router
+// bounds phase one of a cross-shard commit so a gray participant cannot
+// stall the coordinator past the transaction's deadline. (There is no
+// DecideWithin: decisions must eventually be delivered, so phase two
+// retries without a deadline.)
+func (c *Client) PrepareWithin(name string, args pacman.Args, timeout time.Duration) *Future {
+	cl := &call{fut: newFuture(), name: name, args: args, frame: wire.FramePrepare, reqID: c.nextReq.Add(1)}
+	c.arm(cl, timeout)
+	c.dispatch(cl)
+	return cl.fut
+}
+
 func (c *Client) submit(name string, args pacman.Args, adHoc bool) *Future {
 	cl := &call{fut: newFuture(), name: name, args: args, adHoc: adHoc, reqID: c.nextReq.Add(1)}
 	c.dispatch(cl)
 	return cl.fut
+}
+
+func (c *Client) submitDeadline(name string, args pacman.Args, adHoc bool, timeout time.Duration) *Future {
+	cl := &call{fut: newFuture(), name: name, args: args, adHoc: adHoc, reqID: c.nextReq.Add(1)}
+	c.arm(cl, timeout)
+	c.dispatch(cl)
+	return cl.fut
+}
+
+// arm sets a call's deadline and starts the client-side expiry timer. A
+// result that lands first wins (resolve is first-one-wins), so a durable
+// ack is never retroactively failed.
+func (c *Client) arm(cl *call, timeout time.Duration) {
+	if timeout <= 0 {
+		return
+	}
+	cl.deadline = time.Now().Add(timeout)
+	fut := cl.fut
+	// Store-after-AfterFunc means a tiny timeout can fire before the
+	// pointer lands; resolve then sees nil and skips the Stop, which is
+	// harmless — the timer has already fired.
+	fut.timer.Store(time.AfterFunc(timeout, func() {
+		fut.resolve(0, &wire.StatusError{Code: wire.CodeDeadlineExceeded, Msg: "no result before deadline"})
+	}))
 }
 
 // Exec is the synchronous variant: Submit and wait for the durable result.
@@ -510,8 +687,11 @@ func (c *Client) Exec(name string, args pacman.Args) (pacman.TS, error) {
 // disconnections; it is the shared path for first sends and retries.
 func (c *Client) dispatch(cl *call) {
 	for {
-		l := c.waitLink()
+		l := c.waitLink(cl.fut.done)
 		if l == nil {
+			// Closed, or the call's deadline fired while disconnected;
+			// resolve is first-one-wins, so an already-expired future
+			// keeps its CodeDeadlineExceeded.
 			cl.fut.resolve(0, ErrClientClosed)
 			return
 		}
@@ -526,6 +706,9 @@ func (c *Client) dispatch(cl *call) {
 		case l.window <- struct{}{}:
 		case <-l.down:
 			continue
+		case <-cl.fut.done:
+			// Deadline fired while queued for a slot; nothing was sent.
+			return
 		}
 		l.pmu.Lock()
 		if l.draining {
@@ -534,7 +717,11 @@ func (c *Client) dispatch(cl *call) {
 			case <-l.window:
 			default:
 			}
-			<-l.down // server is settling and closing; wait it out
+			select {
+			case <-l.down: // server is settling and closing; wait it out
+			case <-cl.fut.done:
+				return
+			}
 			continue
 		}
 		l.pending[cl.reqID] = cl
@@ -548,7 +735,31 @@ func (c *Client) dispatch(cl *call) {
 		if frame == 0 {
 			frame = wire.FrameSubmit
 		}
-		payload := wire.AppendSubmit(nil, procID, cl.args)
+		var payload []byte
+		if !cl.deadline.IsZero() {
+			// Send the REMAINING budget: retries that burned backoff time
+			// hand the server a correspondingly shorter leash.
+			remaining := time.Until(cl.deadline)
+			if remaining <= 0 {
+				l.pmu.Lock()
+				delete(l.pending, cl.reqID)
+				l.pmu.Unlock()
+				select {
+				case <-l.window:
+				default:
+				}
+				cl.fut.resolve(0, &wire.StatusError{
+					Code:     wire.CodeDeadlineExceeded,
+					Msg:      "deadline expired before send",
+					Attempts: cl.attempts,
+				})
+				return
+			}
+			flags |= wire.FlagDeadline
+			payload = wire.AppendSubmitDeadline(nil, procID, remaining, cl.args)
+		} else {
+			payload = wire.AppendSubmit(nil, procID, cl.args)
+		}
 		l.wmu.Lock()
 		err := wire.WriteFrame(l.nc, wire.Header{Type: frame, Flags: flags, ReqID: cl.reqID}, payload)
 		l.wmu.Unlock()
@@ -575,14 +786,31 @@ func (c *Client) dispatch(cl *call) {
 	}
 }
 
-// waitLink blocks until a live, non-draining link exists (or the client is
-// closed — nil return).
-func (c *Client) waitLink() *link {
+// waitLink blocks until a live, non-draining link exists, the client is
+// closed, or abort fires — nil return for the latter two. abort is the
+// call's resolution channel: a deadline that expires while the client is
+// disconnected must release the dispatcher (the future already resolved
+// CodeDeadlineExceeded), not strand it until a reconnect that may never
+// complete. Pass nil for an unbounded wait.
+func (c *Client) waitLink(abort <-chan struct{}) *link {
+	var watcher chan struct{}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() {
+		if watcher != nil {
+			close(watcher)
+		}
+	}()
 	for {
 		if c.closed {
 			return nil
+		}
+		if abort != nil {
+			select {
+			case <-abort:
+				return nil
+			default:
+			}
 		}
 		if l := c.link; l != nil {
 			l.pmu.Lock()
@@ -601,24 +829,37 @@ func (c *Client) waitLink() *link {
 			select {
 			case <-l.down:
 			case <-time.After(c.cfg.BackoffMin):
+			case <-abort: // nil abort never fires
 			}
 			c.mu.Lock()
 			continue
+		}
+		// No link at all: cond.Wait can't select on abort, so arrange a
+		// one-shot watcher that re-broadcasts when abort fires.
+		if abort != nil && watcher == nil {
+			watcher = make(chan struct{})
+			go func(stop <-chan struct{}) {
+				select {
+				case <-abort:
+					c.mu.Lock()
+					c.cond.Broadcast()
+					c.mu.Unlock()
+				case <-stop:
+				}
+			}(watcher)
 		}
 		c.cond.Wait()
 	}
 }
 
-// Ping round-trips a liveness probe on the current connection.
+// Ping round-trips a liveness probe on the current connection. The probe
+// is fire-and-forget; the answering Pong lands in Stats (RTT, Pongs).
 func (c *Client) Ping() error {
-	l := c.waitLink()
+	l := c.waitLink(nil)
 	if l == nil {
 		return ErrClientClosed
 	}
-	l.wmu.Lock()
-	err := wire.WriteFrame(l.nc, wire.Header{Type: wire.FramePing, ReqID: c.nextReq.Add(1)}, nil)
-	l.wmu.Unlock()
-	return err
+	return c.sendPing(l)
 }
 
 // Close severs the connection and stops reconnecting. Futures in flight

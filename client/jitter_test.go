@@ -1,0 +1,57 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBackoffBounds: every draw is in (0, min(max, min<<attempt)],
+// including the shift-overflow regime at absurd attempt counts.
+func TestJitterBackoffBounds(t *testing.T) {
+	const min, max = 5 * time.Millisecond, 100 * time.Millisecond
+	for attempt := 0; attempt <= 64; attempt++ {
+		cap := min << attempt
+		if attempt >= 30 || cap <= 0 || cap > max {
+			cap = max
+		}
+		for i := 0; i < 50; i++ {
+			d := jitterBackoff(min, max, attempt)
+			if d <= 0 || d > cap {
+				t.Fatalf("attempt %d: draw %v outside (0, %v]", attempt, d, cap)
+			}
+		}
+	}
+}
+
+// TestJitterBackoffFullJitter: the delay is drawn across the whole range,
+// not a deterministic doubling — 200 draws at a fixed attempt must spread
+// into both the bottom and top quarters of the cap (the odds of missing
+// either are (3/4)^200).
+func TestJitterBackoffFullJitter(t *testing.T) {
+	const min, max = 4 * time.Millisecond, time.Second
+	cap := min << 3 // attempt 3: 32ms
+	low, high := false, false
+	for i := 0; i < 200; i++ {
+		d := jitterBackoff(min, max, 3)
+		if d <= cap/4 {
+			low = true
+		}
+		if d > 3*cap/4 {
+			high = true
+		}
+	}
+	if !low || !high {
+		t.Fatalf("draws not spread across the range: low=%v high=%v", low, high)
+	}
+}
+
+// TestJitterBackoffDegenerate: zero/negative budgets must not panic or
+// return negative delays.
+func TestJitterBackoffDegenerate(t *testing.T) {
+	if d := jitterBackoff(0, 0, 0); d != 0 {
+		t.Fatalf("zero budgets: %v, want 0", d)
+	}
+	if d := jitterBackoff(time.Millisecond, time.Millisecond, 0); d <= 0 || d > time.Millisecond {
+		t.Fatalf("min==max: %v outside (0, 1ms]", d)
+	}
+}

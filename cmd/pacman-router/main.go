@@ -44,6 +44,9 @@ func main() {
 	window := flag.Int("window", wire.DefaultWindow, "per-connection in-flight window granted in HelloAck")
 	backWindow := flag.Int("back-window", wire.DefaultWindow, "per-shard backside pipeline window")
 	keepAlive := flag.Duration("keepalive", 250*time.Millisecond, "backside idle-link ping interval (0 to disable)")
+	callTimeout := flag.Duration("call-timeout", 0, "default per-request deadline on backside forwards and prepares (0 = unbounded; required for the breaker to see hung shards)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures that open a shard's circuit breaker (0 = default)")
+	breakerProbe := flag.Duration("breaker-probe", 0, "ping cadence for open breakers' shards (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight futures on shutdown")
 	verbose := flag.Bool("v", false, "log routing and 2PC diagnostics")
 	flag.Parse()
@@ -68,10 +71,15 @@ func main() {
 		log.Fatalf("pacman-router: dialing shards: %v", err)
 	}
 
-	rcfg := shard.RouterConfig{QueueCap: *queue}
-	if *verbose {
-		rcfg.Logf = log.Printf
+	rcfg := shard.RouterConfig{
+		QueueCap:         *queue,
+		CallTimeout:      *callTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerProbe:     *breakerProbe,
 	}
+	// Breaker transitions, 2PC recovery, and delivery retries are
+	// operational events, not per-request chatter: always logged.
+	rcfg.Logf = log.Printf
 	router, err := shard.NewRouter(cluster, multi, simdisk.New("router", simdisk.Config{}), rcfg)
 	if err != nil {
 		log.Fatalf("pacman-router: %v", err)

@@ -74,6 +74,9 @@ func main() {
 		Logging:       kind,
 		Devices:       *devices,
 		EpochInterval: *epoch,
+		// Watchdog transitions (brownout entry/exit with the breached
+		// signal) are rare, operator-facing events: always logged.
+		Health: pacman.HealthConfig{Logf: log.Printf},
 	}
 	var bp pacman.Blueprint
 	served := *wk

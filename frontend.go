@@ -50,6 +50,9 @@ func (d *DB) NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		Workers: cfg.Workers,
 		Queue:   cfg.Queue,
 	})
+	// Join the health watchdog's brownout fan-out (a frontend created
+	// mid-brownout starts shedding immediately).
+	d.registerFrontend(fe)
 	return &Frontend{d: d, fe: fe}, nil
 }
 
@@ -66,13 +69,13 @@ func (d *DB) MustFrontend(cfg FrontendConfig) *Frontend {
 // Submit queues one invocation and returns its durable-commit Future. It
 // blocks only when the submission queue is full.
 func (f *Frontend) Submit(name string, args Args) *Future {
-	return f.submit(name, args, false)
+	return f.submit(name, args, false, time.Time{})
 }
 
 // SubmitAdHoc is Submit for ad-hoc transactions (tuple-level logging even
 // under command logging, Section 4.5).
 func (f *Frontend) SubmitAdHoc(name string, args Args) *Future {
-	return f.submit(name, args, true)
+	return f.submit(name, args, true, time.Time{})
 }
 
 // SubmitDist is Submit for distributed transactions — the 2PC pieces a
@@ -87,19 +90,37 @@ func (f *Frontend) SubmitDist(name string, args Args) *Future {
 	return f.fe.SubmitDist(c, args)
 }
 
-func (f *Frontend) submit(name string, args Args, adHoc bool) *Future {
+// SubmitDeadline is Submit with a per-request deadline (zero means none).
+// If the commit is not durably acknowledged by the deadline the Future
+// resolves ErrDeadlineExceeded — at admission when the deadline has already
+// passed, at execution start when it expired in the queue, or in the
+// durability pipeline when group commit cannot release it in time. A
+// durable ack that lands first always wins: an acknowledged Future is never
+// retroactively failed. Like a connection loss, ErrDeadlineExceeded leaves
+// execution state unknown — the transaction may still commit durably after
+// the caller has given up.
+func (f *Frontend) SubmitDeadline(name string, args Args, deadline time.Time) *Future {
+	return f.submit(name, args, false, deadline)
+}
+
+// SubmitWithin is SubmitDeadline with a relative timeout.
+func (f *Frontend) SubmitWithin(name string, args Args, timeout time.Duration) *Future {
+	return f.submit(name, args, false, time.Now().Add(timeout))
+}
+
+func (f *Frontend) submit(name string, args Args, adHoc bool, deadline time.Time) *Future {
 	c := f.d.reg.ByName(name)
 	if c == nil {
 		return unknownProc(name)
 	}
 	if f.d.valueLog[name] {
 		// Adaptive logging policy: this procedure always logs values.
-		return f.fe.SubmitDist(c, args)
+		return f.fe.SubmitDistDeadline(c, args, deadline)
 	}
 	if adHoc {
-		return f.fe.SubmitAdHoc(c, args)
+		return f.fe.SubmitAdHocDeadline(c, args, deadline)
 	}
-	return f.fe.Submit(c, args)
+	return f.fe.SubmitDeadline(c, args, deadline)
 }
 
 func unknownProc(name string) *Future {
@@ -115,36 +136,65 @@ func unknownProc(name string) *Future {
 // backpressure frame). On a closed frontend it returns a future already
 // resolved with ErrFrontendClosed, and ok is false.
 func (f *Frontend) TrySubmit(name string, args Args) (*Future, bool) {
-	return f.trySubmit(name, args, false)
+	return f.trySubmit(name, args, false, time.Time{})
 }
 
 // TrySubmitAdHoc is TrySubmit for ad-hoc transactions.
 func (f *Frontend) TrySubmitAdHoc(name string, args Args) (*Future, bool) {
-	return f.trySubmit(name, args, true)
+	return f.trySubmit(name, args, true, time.Time{})
 }
 
 // TrySubmitDist is TrySubmit for distributed transactions (2PC pieces; see
 // SubmitDist). pacmand's wire server routes Prepare/Decide frames here.
 func (f *Frontend) TrySubmitDist(name string, args Args) (*Future, bool) {
+	return f.TrySubmitDistDeadline(name, args, time.Time{})
+}
+
+// TrySubmitDeadline is TrySubmit with a per-request deadline (see
+// SubmitDeadline for the expiry contract).
+func (f *Frontend) TrySubmitDeadline(name string, args Args, deadline time.Time) (*Future, bool) {
+	return f.trySubmit(name, args, false, deadline)
+}
+
+// TrySubmitAdHocDeadline is TrySubmitAdHoc with a per-request deadline.
+func (f *Frontend) TrySubmitAdHocDeadline(name string, args Args, deadline time.Time) (*Future, bool) {
+	return f.trySubmit(name, args, true, deadline)
+}
+
+// TrySubmitDistDeadline is TrySubmitDist with a per-request deadline.
+func (f *Frontend) TrySubmitDistDeadline(name string, args Args, deadline time.Time) (*Future, bool) {
 	c := f.d.reg.ByName(name)
 	if c == nil {
 		fut := unknownProc(name)
 		return fut, false
 	}
-	return f.fe.TrySubmitDist(c, args)
+	return f.fe.TrySubmitDistDeadline(c, args, deadline)
 }
 
-func (f *Frontend) trySubmit(name string, args Args, adHoc bool) (*Future, bool) {
+func (f *Frontend) trySubmit(name string, args Args, adHoc bool, deadline time.Time) (*Future, bool) {
 	c := f.d.reg.ByName(name)
 	if c == nil {
 		fut := unknownProc(name)
 		return fut, false
 	}
 	if f.d.valueLog[name] {
-		return f.fe.TrySubmitDist(c, args)
+		return f.fe.TrySubmitDistDeadline(c, args, deadline)
 	}
-	return f.fe.TrySubmit(c, args, adHoc)
+	return f.fe.TrySubmitDeadline(c, args, adHoc, deadline)
 }
+
+// Brownout reports whether this frontend is currently shedding new work
+// under the health watchdog's brownout (new submissions resolve
+// ErrBrownout; queued work still executes).
+func (f *Frontend) Brownout() bool { return f.fe.Brownout() }
+
+// ShedStats returns how many requests this frontend shed, split by
+// checkpoint: deadline-expired at admission, deadline-expired at dequeue
+// (never executed), and brownout rejections.
+func (f *Frontend) ShedStats() ShedStats { return f.fe.ShedStats() }
+
+// ShedStats is a Frontend's shed-counter snapshot.
+type ShedStats = frontend.Shed
 
 // QueueDepth returns the submission queue's current occupancy; paired with
 // QueueCap it is the admission-control signal network backpressure keys
@@ -194,4 +244,7 @@ func (f *Frontend) Scan(table string, lo, hi uint64, fn func(key uint64, row Tup
 // Close drains queued submissions, rejects late ones with
 // ErrFrontendClosed, and retires the session pool. Futures of drained work
 // resolve through the normal release path.
-func (f *Frontend) Close() { f.fe.Close() }
+func (f *Frontend) Close() {
+	f.d.dropFrontend(f.fe)
+	f.fe.Close()
+}

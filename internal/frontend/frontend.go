@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pacman/internal/engine"
+	"pacman/internal/health"
 	"pacman/internal/proc"
 	"pacman/internal/txn"
 	"pacman/internal/wal"
@@ -36,6 +37,13 @@ import (
 
 // ErrClosed resolves futures submitted to a closed (or closing) frontend.
 var ErrClosed = errors.New("frontend: closed")
+
+// ErrBrownout resolves futures submitted while the health watchdog holds
+// the instance in brownout: some component (a device, the epoch clock, the
+// queue itself) is outside its liveness budget, so new work is shed at
+// admission — before execution — instead of piling onto the slow path.
+// Brownout-shed requests never execute; retry after backoff.
+var ErrBrownout = errors.New("frontend: brownout, shedding new work")
 
 // Config tunes a Frontend.
 type Config struct {
@@ -78,6 +86,17 @@ type Frontend struct {
 	executed  atomic.Int64
 	hbEvery   time.Duration
 	closeOnce sync.Once
+
+	// Gray-failure admission control. brownout is flipped by the health
+	// watchdog; the shed counters split rejected work by where it was shed
+	// (admission deadline, dequeue deadline, brownout). dwell and lastMove
+	// feed the watchdog's queue-dwell signal.
+	brownout  atomic.Bool
+	shedAdmit atomic.Int64
+	shedQueue atomic.Int64
+	shedBrown atomic.Int64
+	dwell     health.EWMA
+	lastMove  atomic.Int64 // unix nanos of the last enqueue or dequeue
 }
 
 // New builds a frontend over the manager's execution path. Pool workers are
@@ -102,6 +121,7 @@ func New(mgr *txn.Manager, ls *wal.LogSet, cfg Config) *Frontend {
 		drainCh: make(chan struct{}),
 		hbEvery: cfg.Heartbeat,
 	}
+	f.lastMove.Store(time.Now().UnixNano())
 	for i := 0; i < cfg.Workers; i++ {
 		w := mgr.NewWorker()
 		if ls != nil {
@@ -143,6 +163,17 @@ func (f *Frontend) run(w *txn.Worker) {
 }
 
 func (f *Frontend) handle(w *txn.Worker, r request) {
+	now := time.Now()
+	f.lastMove.Store(now.UnixNano())
+	f.dwell.Observe(now.Sub(r.fut.Start()))
+	// Deadline check at execution start: a request whose deadline passed
+	// while it sat in the queue (or whose expiry timer already fired) is
+	// shed here — it never executes, so the caller's typed error is the
+	// whole story for this request.
+	if r.fut.Expire(now) || r.fut.Resolved() {
+		f.shedQueue.Add(1)
+		return
+	}
 	if r.dist {
 		w.ExecuteFutureDist(r.fut, r.p, r.args)
 	} else {
@@ -155,36 +186,81 @@ func (f *Frontend) handle(w *txn.Worker, r request) {
 // blocks only for queue space (backpressure), never for execution or
 // durability. On a closed frontend the future resolves with ErrClosed.
 func (f *Frontend) Submit(p *proc.Compiled, args proc.Args) *txn.Future {
-	return f.submit(request{p: p, args: args})
+	return f.submit(request{p: p, args: args}, time.Time{})
 }
 
 // SubmitAdHoc is Submit for ad-hoc transactions (tuple-level logging even
 // under command logging, Section 4.5).
 func (f *Frontend) SubmitAdHoc(p *proc.Compiled, args proc.Args) *txn.Future {
-	return f.submit(request{p: p, args: args, adHoc: true})
+	return f.submit(request{p: p, args: args, adHoc: true}, time.Time{})
 }
 
 // SubmitDist is Submit for distributed transactions (2PC pieces): value
 // logging even under command logging, like SubmitAdHoc, but tagged as part
 // of a cross-shard commit.
 func (f *Frontend) SubmitDist(p *proc.Compiled, args proc.Args) *txn.Future {
-	return f.submit(request{p: p, args: args, dist: true})
+	return f.submit(request{p: p, args: args, dist: true}, time.Time{})
 }
 
-func (f *Frontend) submit(r request) *txn.Future {
-	fut := txn.NewFuture(time.Now())
+// SubmitDeadline is Submit with a per-request deadline (zero means none).
+// If the deadline has already passed at admission the future resolves
+// ErrDeadlineExceeded without entering the queue; otherwise expiry is armed
+// and the request fails fast at whichever later checkpoint the deadline
+// passes — dequeue, execution, or the durability pipeline. A durable ack
+// that lands first is never retroactively failed.
+func (f *Frontend) SubmitDeadline(p *proc.Compiled, args proc.Args, deadline time.Time) *txn.Future {
+	return f.submit(request{p: p, args: args}, deadline)
+}
+
+// SubmitAdHocDeadline is SubmitAdHoc with a per-request deadline.
+func (f *Frontend) SubmitAdHocDeadline(p *proc.Compiled, args proc.Args, deadline time.Time) *txn.Future {
+	return f.submit(request{p: p, args: args, adHoc: true}, deadline)
+}
+
+// SubmitDistDeadline is SubmitDist with a per-request deadline.
+func (f *Frontend) SubmitDistDeadline(p *proc.Compiled, args proc.Args, deadline time.Time) *txn.Future {
+	return f.submit(request{p: p, args: args, dist: true}, deadline)
+}
+
+// admit runs the shared admission checks — deadline at queue entry,
+// brownout shedding, closed frontend — resolving the future and returning
+// false when the request must not enter the queue. On true the future's
+// expiry timer is armed and the caller holds a submitWG slot.
+func (f *Frontend) admit(fut *txn.Future, now time.Time) bool {
+	if fut.Expire(now) {
+		f.shedAdmit.Add(1)
+		return false
+	}
+	if f.brownout.Load() {
+		f.shedBrown.Add(1)
+		fut.Resolve(now, ErrBrownout)
+		return false
+	}
 	f.closeMu.RLock()
 	if f.closed.Load() {
 		f.closeMu.RUnlock()
 		fut.Resolve(time.Now(), ErrClosed)
-		return fut
+		return false
 	}
 	f.submitWG.Add(1)
 	f.closeMu.RUnlock()
+	// Arm expiry before the future is shared with a pool worker, so a
+	// request can never sit in the queue with an unenforced deadline.
+	fut.Arm()
+	return true
+}
+
+func (f *Frontend) submit(r request, deadline time.Time) *txn.Future {
+	now := time.Now()
+	fut := txn.NewFutureDeadline(now, deadline)
+	if !f.admit(fut, now) {
+		return fut
+	}
 	defer f.submitWG.Done()
 	r.fut = fut
 	select {
 	case f.reqs <- r:
+		f.lastMove.Store(time.Now().UnixNano())
 	case <-f.closing:
 		fut.Resolve(time.Now(), ErrClosed)
 	}
@@ -193,43 +269,98 @@ func (f *Frontend) submit(r request) *txn.Future {
 
 // TrySubmit is the non-blocking admission path: it enqueues the invocation
 // and returns its future only when queue space is available RIGHT NOW.
-// A false return means the queue was full (or the frontend closed — the
-// returned future then resolves ErrClosed and ok is still false so callers
-// treat both as "not admitted"). The network server uses it to turn a full
-// queue into a backpressure frame instead of blocking the connection's
-// reader goroutine.
+// A false return means the queue was full (or the frontend closed or
+// browned out, or the request's deadline already passed — the returned
+// future then resolves with the typed error and ok is still false so
+// callers treat all of these as "not admitted"). The network server uses
+// it to turn a full queue into a backpressure frame instead of blocking
+// the connection's reader goroutine.
 func (f *Frontend) TrySubmit(p *proc.Compiled, args proc.Args, adHoc bool) (*txn.Future, bool) {
-	return f.try(request{p: p, args: args, adHoc: adHoc})
+	return f.try(request{p: p, args: args, adHoc: adHoc}, time.Time{})
 }
 
 // TrySubmitDist is TrySubmit for distributed transactions (2PC pieces of a
 // cross-shard commit): the commit record is marked Dist so the loggers emit
 // a value record even under command logging.
 func (f *Frontend) TrySubmitDist(p *proc.Compiled, args proc.Args) (*txn.Future, bool) {
-	return f.try(request{p: p, args: args, dist: true})
+	return f.try(request{p: p, args: args, dist: true}, time.Time{})
 }
 
-func (f *Frontend) try(r request) (*txn.Future, bool) {
-	fut := txn.NewFuture(time.Now())
-	f.closeMu.RLock()
-	if f.closed.Load() {
-		f.closeMu.RUnlock()
-		fut.Resolve(time.Now(), ErrClosed)
+// TrySubmitDeadline is TrySubmit with a per-request deadline (zero means
+// none).
+func (f *Frontend) TrySubmitDeadline(p *proc.Compiled, args proc.Args, adHoc bool, deadline time.Time) (*txn.Future, bool) {
+	return f.try(request{p: p, args: args, adHoc: adHoc}, deadline)
+}
+
+// TrySubmitDistDeadline is TrySubmitDist with a per-request deadline.
+func (f *Frontend) TrySubmitDistDeadline(p *proc.Compiled, args proc.Args, deadline time.Time) (*txn.Future, bool) {
+	return f.try(request{p: p, args: args, dist: true}, deadline)
+}
+
+func (f *Frontend) try(r request, deadline time.Time) (*txn.Future, bool) {
+	now := time.Now()
+	fut := txn.NewFutureDeadline(now, deadline)
+	if !f.admit(fut, now) {
 		return fut, false
 	}
-	f.submitWG.Add(1)
-	f.closeMu.RUnlock()
 	defer f.submitWG.Done()
 	r.fut = fut
 	select {
 	case f.reqs <- r:
+		f.lastMove.Store(time.Now().UnixNano())
 		return fut, true
 	case <-f.closing:
 		fut.Resolve(time.Now(), ErrClosed)
 		return fut, false
 	default:
+		// Not admitted: the future was never shared, so stop its expiry
+		// timer instead of letting it fire against an abandoned handle.
+		fut.Disarm()
 		return nil, false
 	}
+}
+
+// SetBrownout flips brownout shedding on or off. While on, new submissions
+// resolve ErrBrownout at admission instead of entering the queue; work
+// already queued still executes. The health watchdog drives this from its
+// state transitions.
+func (f *Frontend) SetBrownout(on bool) { f.brownout.Store(on) }
+
+// Brownout reports whether the frontend is currently shedding new work.
+func (f *Frontend) Brownout() bool { return f.brownout.Load() }
+
+// Shed is the frontend's shed-counter snapshot, split by checkpoint.
+type Shed struct {
+	// Admission: deadline already expired at queue entry.
+	Admission int64 `json:"admission"`
+	// Queue: deadline expired while queued; shed at dequeue, never executed.
+	Queue int64 `json:"queue"`
+	// Brownout: rejected because the watchdog held the instance in brownout.
+	Brownout int64 `json:"brownout"`
+}
+
+// ShedStats returns how many requests were shed, and where.
+func (f *Frontend) ShedStats() Shed {
+	return Shed{
+		Admission: f.shedAdmit.Load(),
+		Queue:     f.shedQueue.Load(),
+		Brownout:  f.shedBrown.Load(),
+	}
+}
+
+// QueueDwell returns the smoothed submit-to-dequeue dwell time — the
+// watchdog's overload signal for the submission queue.
+func (f *Frontend) QueueDwell() time.Duration { return f.dwell.Load() }
+
+// QueueStall returns how long the queue has gone without any movement
+// (enqueue or dequeue) while non-empty — zero when the queue is empty. It
+// catches the case the dwell EWMA cannot: every pool worker wedged behind
+// a gray component, so nothing dequeues and the EWMA goes stale.
+func (f *Frontend) QueueStall(now time.Time) time.Duration {
+	if len(f.reqs) == 0 {
+		return 0
+	}
+	return now.Sub(time.Unix(0, f.lastMove.Load()))
 }
 
 // Depth returns the submission queue's current occupancy — the admission-

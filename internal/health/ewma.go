@@ -1,0 +1,61 @@
+package health
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// EWMA is a lock-free exponentially weighted moving average of durations.
+// Writers Observe from any goroutine (hot paths: one CAS loop per sample);
+// readers Load a smoothed value that weights recent samples by Alpha. The
+// zero value is ready to use with the default smoothing factor.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; higher weights recent
+	// samples more. Zero means DefaultAlpha. Set before first Observe.
+	Alpha float64
+
+	bits atomic.Uint64 // float64 bits of the current average in nanoseconds
+	n    atomic.Uint64 // samples observed
+}
+
+// DefaultAlpha is the smoothing factor used when EWMA.Alpha is zero: ~16
+// samples of memory, reactive enough for a watchdog at millisecond cadence.
+const DefaultAlpha = 0.125
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(d time.Duration) {
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	x := float64(d)
+	for {
+		old := e.bits.Load()
+		cur := math.Float64frombits(old)
+		var next float64
+		if e.n.Load() == 0 && old == 0 {
+			next = x // seed with the first sample instead of decaying up from zero
+		} else {
+			next = cur + alpha*(x-cur)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			e.n.Add(1)
+			return
+		}
+	}
+}
+
+// Load returns the current average (zero before any sample).
+func (e *EWMA) Load() time.Duration {
+	return time.Duration(math.Float64frombits(e.bits.Load()))
+}
+
+// Count returns how many samples have been observed.
+func (e *EWMA) Count() uint64 { return e.n.Load() }
+
+// Reset forgets all samples.
+func (e *EWMA) Reset() {
+	e.bits.Store(0)
+	e.n.Store(0)
+}

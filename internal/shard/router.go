@@ -11,6 +11,7 @@ import (
 	"pacman/client"
 	"pacman/internal/proc"
 	"pacman/internal/simdisk"
+	"pacman/internal/txn"
 	"pacman/internal/wire"
 )
 
@@ -23,6 +24,20 @@ type RouterConfig struct {
 	// RetryBackoff paces decide re-delivery to a shard that is down or
 	// restarting (default 5ms).
 	RetryBackoff time.Duration
+	// CallTimeout, when positive, is the default per-request deadline
+	// applied to backside forwards and 2PC prepares when the client did not
+	// supply one. It is what lets the breaker see a hung shard: without a
+	// deadline a wedged participant just blocks forever. Zero preserves the
+	// unbounded legacy behavior.
+	CallTimeout time.Duration
+	// BreakerThreshold is how many consecutive transport failures (lost
+	// connection, deadline expiry with no answer) open a shard's circuit
+	// breaker (default 3).
+	BreakerThreshold int
+	// BreakerProbe is the cadence at which open breakers' shards are pinged;
+	// an answered probe half-opens the breaker so one trial request can
+	// close it (default 50ms).
+	BreakerProbe time.Duration
 	// Logf, when set, receives routing and 2PC diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -44,8 +59,18 @@ type Router struct {
 
 	nextGTID atomic.Uint64
 	inflight atomic.Int64
+	bg       atomic.Int64 // background decide deliveries in flight
 	closed   atomic.Bool
 	wg       sync.WaitGroup
+
+	// breakers holds one circuit breaker per shard; the prober goroutine
+	// pings open breakers' shards and half-opens them when a Pong proves
+	// the shard answers again.
+	breakers  []*breaker
+	lastPongs []uint64
+	probing   []atomic.Bool
+	probeStop chan struct{}
+	probeDone chan struct{}
 }
 
 // ErrRouterClosed resolves requests dispatched to (or in flight on) a
@@ -68,11 +93,27 @@ func NewRouter(c *Cluster, multi *client.Multi, dev *simdisk.Device, cfg RouterC
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 5 * time.Millisecond
 	}
+	if cfg.BreakerProbe <= 0 {
+		cfg.BreakerProbe = 50 * time.Millisecond
+	}
 	log, pending, maxGTID, err := openCoordLog(dev)
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{cluster: c, multi: multi, log: log, cfg: cfg}
+	r := &Router{
+		cluster:   c,
+		multi:     multi,
+		log:       log,
+		cfg:       cfg,
+		breakers:  make([]*breaker, multi.Len()),
+		lastPongs: make([]uint64, multi.Len()),
+		probing:   make([]atomic.Bool, multi.Len()),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for i := range r.breakers {
+		r.breakers[i] = newBreaker(cfg.BreakerThreshold)
+	}
 	r.nextGTID.Store(maxGTID)
 	for _, p := range pending {
 		phase := abortOf
@@ -89,7 +130,94 @@ func NewRouter(c *Cluster, multi *client.Multi, dev *simdisk.Device, cfg RouterC
 			return nil, err
 		}
 	}
+	go r.probe()
 	return r, nil
+}
+
+// probe watches open breakers: any Pong arriving from the shard while its
+// breaker is open (our probes, keepalives, and regular traffic all count)
+// half-opens it so one trial request can prove recovery. Probes are
+// fire-and-forget goroutines guarded by a per-shard in-flight flag, so a
+// shard whose link is down redialing cannot wedge the prober loop.
+func (r *Router) probe() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.cfg.BreakerProbe)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-t.C:
+		}
+		for i, b := range r.breakers {
+			if b.current() != breakerOpen {
+				continue
+			}
+			cl := r.multi.Client(i)
+			if pongs := cl.Stats().Pongs; pongs > r.lastPongs[i] {
+				r.lastPongs[i] = pongs
+				if b.halfOpen() {
+					r.logf("shard: breaker for shard %d half-open (probe answered)", i)
+				}
+				continue
+			}
+			if r.probing[i].CompareAndSwap(false, true) {
+				go func(i int, cl *client.Client) {
+					defer r.probing[i].Store(false)
+					_ = cl.Ping()
+				}(i, cl)
+			}
+		}
+	}
+}
+
+// observe feeds one backside outcome into a shard's breaker and logs
+// transitions.
+func (r *Router) observe(shard int, err error) {
+	if from, to := r.breakers[shard].observe(breakerFailure(err)); from != "" {
+		r.logf("shard: breaker for shard %d %s -> %s (%v)", shard, from, to, err)
+	}
+}
+
+// Quiesce blocks until every dispatched request and every background
+// decide delivery has finished, or the timeout elapses; it reports whether
+// the router fully quiesced. Callers that need protocol settlement — not
+// just client-future settlement — use it: since the coordinator answers
+// clients at decision time, resolved futures no longer imply the decide
+// pieces have reached every participant.
+func (r *Router) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for r.inflight.Load() > 0 || r.bg.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// Breakers returns every shard's breaker status, in shard order.
+func (r *Router) Breakers() []BreakerStatus {
+	out := make([]BreakerStatus, len(r.breakers))
+	for i, b := range r.breakers {
+		out[i] = b.snapshot()
+		out[i].Shard = i
+	}
+	return out
+}
+
+// Brownout implements wire.Backend: the router is in brownout — shedding
+// everything at the wire with Backpressure — only when every shard's
+// breaker is open (a total backside outage). With a partial outage,
+// requests for live shards must still be admitted, so shedding happens
+// per-request via ErrShardUnavailable instead.
+func (r *Router) Brownout() bool {
+	for _, b := range r.breakers {
+		if b.current() != breakerOpen {
+			return false
+		}
+	}
+	return len(r.breakers) > 0
 }
 
 func (r *Router) logf(format string, args ...any) {
@@ -142,31 +270,41 @@ func (r *Router) Close() {
 	if r.closed.Swap(true) {
 		return
 	}
+	close(r.probeStop)
+	<-r.probeDone
 	r.multi.Close()
 	r.wg.Wait()
 }
 
 // TrySubmit implements wire.Backend. The blocking parts of a dispatch —
 // the per-shard client windows, the 2PC phases — ride a goroutine so the
-// server's read loop never stalls; admission control is the QueueCap.
-func (r *Router) TrySubmit(mode wire.SubmitMode, name string, args pacman.Args) (wire.Waiter, bool) {
+// server's read loop never stalls; admission control is the QueueCap. A
+// non-zero deadline (already anchored to this router's clock) bounds the
+// whole routed request, backside hops included.
+func (r *Router) TrySubmit(mode wire.SubmitMode, name string, args pacman.Args, deadline time.Time) (wire.Waiter, bool) {
 	switch mode {
 	case wire.ModePrepare, wire.ModeDecide:
 		return errFuture(fmt.Errorf("shard: the router coordinates 2PC; it does not accept %s frames", "Prepare/Decide")), true
 	}
-	return r.submit(mode == wire.ModeAdHoc, name, args)
+	return r.submit(mode == wire.ModeAdHoc, name, args, deadline)
 }
 
 // Submit routes one invocation (library form of the frontside).
 func (r *Router) Submit(name string, args pacman.Args) wire.Waiter {
-	w, ok := r.submit(false, name, args)
+	return r.SubmitDeadline(name, args, time.Time{})
+}
+
+// SubmitDeadline is Submit with a per-request deadline (zero means none
+// beyond the router's CallTimeout).
+func (r *Router) SubmitDeadline(name string, args pacman.Args, deadline time.Time) wire.Waiter {
+	w, ok := r.submit(false, name, args, deadline)
 	if !ok {
 		return errFuture(fmt.Errorf("shard: router queue full"))
 	}
 	return w
 }
 
-func (r *Router) submit(adHoc bool, name string, args pacman.Args) (wire.Waiter, bool) {
+func (r *Router) submit(adHoc bool, name string, args pacman.Args, deadline time.Time) (wire.Waiter, bool) {
 	if r.closed.Load() {
 		return errFuture(ErrRouterClosed), true
 	}
@@ -176,43 +314,103 @@ func (r *Router) submit(adHoc bool, name string, args pacman.Args) (wire.Waiter,
 	r.inflight.Add(1)
 	r.wg.Add(1)
 	f := newRouterFuture()
-	go r.dispatch(adHoc, name, args, f)
+	go r.dispatch(adHoc, name, args, deadline, f)
 	return f, true
 }
 
-func (r *Router) dispatch(adHoc bool, name string, args pacman.Args, f *future) {
+func (r *Router) dispatch(adHoc bool, name string, args pacman.Args, deadline time.Time, f *future) {
 	defer r.wg.Done()
 	defer r.inflight.Add(-1)
+	if deadline.IsZero() && r.cfg.CallTimeout > 0 {
+		deadline = time.Now().Add(r.cfg.CallTimeout)
+	}
 	shards, err := r.cluster.routing.Route(name, args)
 	if err != nil {
 		f.resolve(0, err)
 		return
 	}
 	if len(shards) == 1 {
-		// Single-shard: forward untouched; the shard's own durability
-		// contract (group-commit release) resolves the future.
-		cl := r.multi.Client(shards[0])
-		var cf *client.Future
-		if adHoc {
-			cf = cl.SubmitAdHoc(name, args)
-		} else {
-			cf = cl.Submit(name, args)
-		}
-		f.resolve(cf.Wait())
+		r.forward(adHoc, shards[0], name, args, deadline, f)
 		return
 	}
 	if adHoc {
 		f.resolve(0, fmt.Errorf("shard: ad-hoc invocations cannot span shards"))
 		return
 	}
-	r.runCross(name, shards, args, f)
+	r.runCross(name, shards, args, deadline, f)
 }
 
-// runCross drives one cross-shard transaction through 2PC.
-func (r *Router) runCross(name string, shards []int, args proc.Args, f *future) {
+// forward sends a single-shard invocation untouched; the shard's own
+// durability contract (group-commit release) resolves the future. The
+// shard's breaker gates admission and learns from the outcome.
+func (r *Router) forward(adHoc bool, shard int, name string, args pacman.Args, deadline time.Time, f *future) {
+	if !r.breakers[shard].allow() {
+		f.resolve(0, fmt.Errorf("shard: shard %d: %w", shard, ErrShardUnavailable))
+		return
+	}
+	cl := r.multi.Client(shard)
+	var cf *client.Future
+	if timeout, bounded := remainingBudget(deadline); bounded {
+		if timeout <= 0 {
+			r.breakers[shard].release() // never sent; free any trial slot
+			f.resolve(0, fmt.Errorf("shard: shard %d: %w", shard, txn.ErrDeadlineExceeded))
+			return
+		}
+		if adHoc {
+			cf = cl.SubmitAdHocWithin(name, args, timeout)
+		} else {
+			cf = cl.SubmitWithin(name, args, timeout)
+		}
+	} else if adHoc {
+		cf = cl.SubmitAdHoc(name, args)
+	} else {
+		cf = cl.Submit(name, args)
+	}
+	ts, err := cf.Wait()
+	r.observe(shard, err)
+	f.resolve(ts, err)
+}
+
+// remainingBudget converts a deadline into (remaining, bounded).
+func remainingBudget(deadline time.Time) (time.Duration, bool) {
+	if deadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(deadline), true
+}
+
+// runCross drives one cross-shard transaction through 2PC. A deadline
+// bounds how long the CLIENT waits, not the protocol itself: prepares
+// carry the remaining budget so a hung participant votes NO by timeout,
+// abort and commit decisions always run to completion (in the background
+// when the client has already been answered).
+func (r *Router) runCross(name string, shards []int, args proc.Args, deadline time.Time, f *future) {
 	gtid := r.nextGTID.Add(1)
+
+	// Fail fast before touching the decision log: a participant behind an
+	// open breaker would only time its prepare out, so shed now — presumed
+	// abort holds trivially (no prepare ever leaves).
+	for _, s := range shards {
+		if !r.breakers[s].allow() {
+			for _, prev := range shards {
+				if prev == s {
+					break
+				}
+				r.breakers[prev].release()
+			}
+			f.resolve(0, fmt.Errorf("shard: gtid %d: shard %d: %w", gtid, s, ErrShardUnavailable))
+			return
+		}
+	}
+	release := func() {
+		for _, s := range shards {
+			r.breakers[s].release()
+		}
+	}
+
 	g, err := r.cluster.Split(name, gtid, shards, args)
 	if err != nil {
+		release()
 		f.resolve(0, err)
 		return
 	}
@@ -221,6 +419,7 @@ func (r *Router) runCross(name string, shards []int, args proc.Args, f *future) 
 	// pieces) must be durable before the first prepare leaves, so a router
 	// crash can always finish the protocol from the log.
 	if err := r.log.Begin(g); err != nil {
+		release()
 		f.resolve(0, err)
 		return
 	}
@@ -228,14 +427,26 @@ func (r *Router) runCross(name string, shards []int, args proc.Args, f *future) 
 	// Phase 1: prepares, in parallel. Each ack means "executed AND durable
 	// at my pepoch" — the prepare future resolves at the participant's
 	// group-commit release, which is what aligns the 2PC prepare point
-	// with the shards' epoch cadence.
+	// with the shards' epoch cadence. With a deadline, each prepare carries
+	// the remaining budget, so a gray participant resolves
+	// ErrDeadlineExceeded instead of hanging the coordinator.
+	budget, bounded := remainingBudget(deadline)
 	prepFuts := make([]*client.Future, len(g.Parts))
 	for i, p := range g.Parts {
-		prepFuts[i] = r.multi.Prepare(p.Shard, p.Prepare.Proc, p.Prepare.Args)
+		if bounded {
+			if budget <= 0 {
+				budget = time.Nanosecond // already late: let the timer vote NO
+			}
+			prepFuts[i] = r.multi.Client(p.Shard).PrepareWithin(p.Prepare.Proc, p.Prepare.Args, budget)
+		} else {
+			prepFuts[i] = r.multi.Prepare(p.Shard, p.Prepare.Proc, p.Prepare.Args)
+		}
 	}
 	var prepErr error
 	for i, pf := range prepFuts {
-		if _, err := pf.Wait(); err != nil && prepErr == nil {
+		_, err := pf.Wait()
+		r.observe(g.Parts[i].Shard, err)
+		if err != nil && prepErr == nil {
 			prepErr = fmt.Errorf("shard: gtid %d: prepare on shard %d: %w", gtid, g.Parts[i].Shard, err)
 		}
 	}
@@ -243,13 +454,24 @@ func (r *Router) runCross(name string, shards []int, args proc.Args, f *future) 
 	if prepErr != nil {
 		// Any NO vote, failure, or unknown outcome decides abort. No
 		// decision record is needed (presumed abort); the abort pieces are
-		// idempotent and safe even where the prepare never executed.
-		if _, err := r.deliver(g, abortOf); err != nil {
-			f.resolve(0, err)
-			return
-		}
-		_ = r.log.End(gtid)
+		// idempotent and safe even where the prepare never executed. The
+		// client learns the abort NOW — the decision is final the moment it
+		// is taken — while the abort pieces are delivered in the background
+		// (a hung participant must not hold the answer hostage; if the
+		// router dies first, recovery re-derives presumed abort from the
+		// begin record).
 		f.resolve(0, prepErr)
+		r.wg.Add(1)
+		r.bg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.bg.Add(-1)
+			if _, err := r.deliver(g, abortOf); err != nil {
+				r.logf("shard: gtid %d: abort delivery interrupted: %v", gtid, err)
+				return
+			}
+			_ = r.log.End(gtid)
+		}()
 		return
 	}
 
@@ -263,15 +485,47 @@ func (r *Router) runCross(name string, shards []int, args proc.Args, f *future) 
 	}
 
 	// Phase 2: commit decides, re-delivered until every participant acks.
-	ts, err := r.deliver(g, commitOf)
-	if err != nil {
-		// Committed but delivery interrupted (router closing): recovery
-		// re-delivers from the log. The client's outcome is "maybe".
-		f.resolve(0, fmt.Errorf("shard: gtid %d: committed, delivery incomplete: %w", gtid, err))
-		return
+	// The client's wait is bounded by its deadline; delivery itself is not
+	// (a decision must reach every participant), so a late delivery keeps
+	// running in the background and the client gets the honest "committed,
+	// maybe not yet everywhere" deadline outcome.
+	type delivered struct {
+		ts  pacman.TS
+		err error
 	}
-	_ = r.log.End(gtid)
-	f.resolve(ts, nil)
+	ch := make(chan delivered, 1)
+	r.wg.Add(1)
+	r.bg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer r.bg.Add(-1)
+		ts, err := r.deliver(g, commitOf)
+		if err == nil {
+			_ = r.log.End(gtid)
+		}
+		ch <- delivered{ts, err}
+	}()
+	var timeout <-chan time.Time
+	if left, ok := remainingBudget(deadline); ok {
+		if left <= 0 {
+			left = time.Nanosecond
+		}
+		t := time.NewTimer(left)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case d := <-ch:
+		if d.err != nil {
+			// Committed but delivery interrupted (router closing): recovery
+			// re-delivers from the log. The client's outcome is "maybe".
+			f.resolve(0, fmt.Errorf("shard: gtid %d: committed, delivery incomplete: %w", gtid, d.err))
+			return
+		}
+		f.resolve(d.ts, nil)
+	case <-timeout:
+		f.resolve(0, fmt.Errorf("shard: gtid %d: committed, delivery past deadline: %w", gtid, txn.ErrDeadlineExceeded))
+	}
 }
 
 func commitOf(p Participant) Invocation { return p.Commit }

@@ -1,6 +1,9 @@
 package shard
 
 import (
+	"errors"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,8 +134,13 @@ func TestRouterEndToEnd(t *testing.T) {
 
 	// Cross-shard abort: the debit piece votes no (insufficient funds);
 	// the credit piece's prepared effect is compensated on the other shard.
+	// The future resolves at the abort decision, so wait for the abort
+	// pieces themselves to land before auditing shard state.
 	if _, err := r.Submit("SendPayment", payArgs(2, 31, 1e9)).Wait(); err == nil {
 		t.Fatal("unfunded cross-shard SendPayment committed")
+	}
+	if !r.Quiesce(5 * time.Second) {
+		t.Fatal("router did not quiesce abort delivery")
 	}
 	if got := checking(t, tc.dbs[0], 2); got != 1000 {
 		t.Fatalf("after abort, CHECKING(2) = %v, want 1000", got)
@@ -157,7 +165,7 @@ func TestRouterEndToEnd(t *testing.T) {
 	}
 
 	// Ad-hoc invocations cannot span shards.
-	w, ok := r.TrySubmit(wire.ModeAdHoc, "SendPayment", payArgs(5, 35, 1))
+	w, ok := r.TrySubmit(wire.ModeAdHoc, "SendPayment", payArgs(5, 35, 1), time.Time{})
 	if !ok {
 		t.Fatal("TrySubmit backpressured an empty router")
 	}
@@ -352,5 +360,165 @@ func TestMixedStreamRecovery(t *testing.T) {
 	verify(db3, "second restart")
 	if st := status2pc(db3, 3); st != StatusCommitted {
 		t.Errorf("second restart: gtid 3 status = %d, want committed", st)
+	}
+}
+
+// wedgeProxy is a TCP proxy whose forwarding can be wedged: while wedged,
+// the pipe goroutines block BEFORE writing, so every byte queues (in the
+// proxy or the kernel) and nothing is lost or torn — exactly a hung, not
+// crashed, participant. Unwedging releases the held bytes and the shard
+// "returns" with its stream intact.
+type wedgeProxy struct {
+	addr string
+	ln   net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	wedged bool
+}
+
+func startWedgeProxy(t *testing.T, backend string) *wedgeProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &wedgeProxy{addr: ln.Addr().String(), ln: ln}
+	p.cond = sync.NewCond(&p.mu)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go p.pipe(c, b)
+			go p.pipe(b, c)
+		}
+	}()
+	t.Cleanup(func() {
+		p.setWedged(false) // unblock pipes so they can observe the close
+		ln.Close()
+	})
+	return p
+}
+
+func (p *wedgeProxy) setWedged(on bool) {
+	p.mu.Lock()
+	p.wedged = on
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *wedgeProxy) pipe(dst, src net.Conn) {
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			for p.wedged {
+				p.cond.Wait()
+			}
+			p.mu.Unlock()
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestRouterHungShardBreaker: a shard that hangs — answers nothing, drops
+// nothing — must not drag cross-shard commits into an indefinite stall.
+// The router's call timeout turns silence into a presumed-abort failure in
+// under twice the deadline, consecutive failures open the shard's breaker
+// (after which requests shed at admission without waiting out the deadline,
+// carrying the never-executed backpressure sentinel), the healthy shard
+// keeps serving throughout, and when the shard returns the prober
+// half-opens the breaker and cross-shard service resumes on its own.
+func TestRouterHungShardBreaker(t *testing.T) {
+	tc := launchCluster(t, 2, 40)
+	px := startWedgeProxy(t, tc.addrs[1])
+	m, err := client.DialMulti("tcp", []string{tc.addrs[0], px.addr},
+		client.Config{Window: 8, KeepAlive: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callTimeout = 250 * time.Millisecond
+	r, err := NewRouter(tc.cluster, m, simdisk.New("router-log", simdisk.Config{}), RouterConfig{
+		CallTimeout:      callTimeout,
+		BreakerThreshold: 2,
+		BreakerProbe:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.Submit("SendPayment", payArgs(1, 30, 10)).Wait(); err != nil {
+		t.Fatalf("healthy cross-shard payment: %v", err)
+	}
+
+	px.setWedged(true)
+
+	start := time.Now()
+	if _, err := r.Submit("SendPayment", payArgs(2, 31, 10)).Wait(); err == nil {
+		t.Fatal("cross-shard commit succeeded against a hung shard")
+	}
+	if el := time.Since(start); el >= 2*callTimeout {
+		t.Fatalf("hung-shard cross-shard failure took %v, want < %v", el, 2*callTimeout)
+	}
+
+	// Keep the timeouts coming until the breaker opens.
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Breakers()[1].State != "open" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened: %+v", r.Breakers())
+		}
+		r.Submit("Balance", pacman.Args{pacman.A(pacman.I(30))}).Wait()
+	}
+
+	// Open breaker: shed at admission, well under the deadline.
+	start = time.Now()
+	_, err = r.Submit("Balance", pacman.Args{pacman.A(pacman.I(30))}).Wait()
+	if err == nil {
+		t.Fatal("open breaker admitted a request to a hung shard")
+	}
+	if !errors.Is(err, wire.ErrBackpressure) {
+		t.Fatalf("open-breaker error = %v, want the ErrBackpressure sentinel", err)
+	}
+	if el := time.Since(start); el >= callTimeout {
+		t.Fatalf("open-breaker shed took %v, want < %v", el, callTimeout)
+	}
+
+	// The healthy shard serves on, unaffected.
+	if _, err := r.Submit("DepositChecking",
+		pacman.Args{pacman.A(pacman.I(3)), pacman.A(pacman.F(5))}).Wait(); err != nil {
+		t.Fatalf("healthy shard failed during the outage: %v", err)
+	}
+
+	// The shard returns: probe -> half-open -> trial -> closed, and
+	// cross-shard service resumes without any operator action.
+	px.setWedged(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if _, err := r.Submit("SendPayment", payArgs(4, 34, 10)).Wait(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cross-shard service never recovered: breakers %+v", r.Breakers())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !r.Quiesce(5 * time.Second) {
+		t.Fatal("router did not quiesce after recovery")
 	}
 }

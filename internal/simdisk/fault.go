@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Fault plane
@@ -29,6 +30,14 @@ import (
 //   - Transient media faults: ReadErrAfterReads fails exactly one read with
 //     ErrInjectedRead and then disarms, modeling a retryable media error
 //     during recovery reload.
+//   - Latency (gray) faults: the device stays up and loses nothing, but gets
+//     slow — per-op delays (WriteDelay/SyncDelay/ReadDelay), a one-shot sync
+//     stall (SyncStallAfter), or a permanently hung sync (HangSyncAfter)
+//     that blocks until Disarm (the device came back: the sync completes
+//     normally) or a crash/power failure (it fails without advancing
+//     durability). Unlike the modeled occupancy clock, gray delays burn real
+//     wall time, so the health watchdog observes them exactly as it would a
+//     browning-out SSD.
 //
 // Clients that care about durability must check Sync errors: after a power
 // failure Sync fails and the durable watermark does not advance, so an
@@ -72,12 +81,76 @@ type DeviceFaults struct {
 	// ErrInjectedRead, once; the fault then disarms and a retry succeeds.
 	ReadErrAfterReads int64
 
+	// WriteDelay, SyncDelay, ReadDelay add real wall-clock latency to every
+	// write, sync, and read call while armed — the sticky-slow-device gray
+	// fault. The op itself stays correct and durable.
+	WriteDelay time.Duration
+	SyncDelay  time.Duration
+	ReadDelay  time.Duration
+	// SyncStallAfter stalls exactly the Nth sync (counted from Arm) for
+	// SyncStall before it completes normally — a one-shot write cliff.
+	SyncStallAfter int64
+	SyncStall      time.Duration
+	// HangSyncAfter hangs every sync from the Nth on: the call blocks until
+	// the plan is disarmed (then completes normally, durability advances) or
+	// the device crashes or power-fails (then fails with ErrPowerFailed,
+	// durability frozen). The release-on-crash contract is what keeps flush
+	// goroutines from leaking when a torture cycle kills a hung instance.
+	HangSyncAfter int64
+
 	writes atomic.Int64
 	bytes  atomic.Int64
 	syncs  atomic.Int64
 	reads  atomic.Int64
 	// readErrFired latches the one-shot transient read fault.
 	readErrFired atomic.Bool
+
+	// latSyncs counts syncs for the gray triggers, separately from syncs
+	// (which only counts when CrashAfterSyncs is armed).
+	latSyncs atomic.Int64
+	// Hung-sync release plumbing: hangCh is closed exactly once, by Disarm
+	// (hangErr nil: complete normally), a power failure, or a device Crash
+	// (hangErr ErrPowerFailed: fail without advancing durability).
+	hangMu   sync.Mutex
+	hangCh   chan struct{}
+	hangErr  error
+	hangDone bool
+}
+
+// awaitHangRelease blocks a hung sync until the fault is released and
+// returns the verdict: nil to complete the sync normally, an error to fail
+// it with durability frozen.
+func (f *DeviceFaults) awaitHangRelease() error {
+	f.hangMu.Lock()
+	if f.hangDone {
+		err := f.hangErr
+		f.hangMu.Unlock()
+		return err
+	}
+	if f.hangCh == nil {
+		f.hangCh = make(chan struct{})
+	}
+	ch := f.hangCh
+	f.hangMu.Unlock()
+	<-ch
+	f.hangMu.Lock()
+	err := f.hangErr
+	f.hangMu.Unlock()
+	return err
+}
+
+// releaseHang releases every sync hung on this fault (and any future one)
+// with the given verdict. First release wins.
+func (f *DeviceFaults) releaseHang(err error) {
+	f.hangMu.Lock()
+	if !f.hangDone {
+		f.hangDone = true
+		f.hangErr = err
+		if f.hangCh != nil {
+			close(f.hangCh)
+		}
+	}
+	f.hangMu.Unlock()
 }
 
 // String renders the armed triggers, for fault-plan reproduction reports.
@@ -97,6 +170,18 @@ func (f *DeviceFaults) String() string {
 		parts = append(parts, "corruptTornTail")
 	}
 	add("readErrAfterReads", f.ReadErrAfterReads)
+	addD := func(name string, v time.Duration) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", name, v))
+		}
+	}
+	addD("writeDelay", f.WriteDelay)
+	addD("syncDelay", f.SyncDelay)
+	addD("readDelay", f.ReadDelay)
+	if f.SyncStallAfter > 0 {
+		parts = append(parts, fmt.Sprintf("syncStallAfter=%d(%v)", f.SyncStallAfter, f.SyncStall))
+	}
+	add("hangSyncAfter", f.HangSyncAfter)
 	if len(parts) == 0 {
 		return "clean"
 	}
@@ -148,6 +233,11 @@ func (p *FaultPlan) Arm(devices ...*Device) {
 	p.mu.Unlock()
 	for _, d := range devices {
 		d.fmu.Lock()
+		if d.faults != nil && d.faults != p.Devs[d.name] {
+			// Replacing a previous plan: complete its hung syncs normally, as
+			// Disarm would, so they cannot block forever unobserved.
+			d.faults.releaseHang(nil)
+		}
 		d.plan = p
 		d.faults = p.Devs[d.name]
 		d.poweredOff = false
@@ -171,6 +261,11 @@ func (p *FaultPlan) Disarm() {
 			d.poweredOff = false
 		}
 		d.fmu.Unlock()
+	}
+	// The device "came back": hung syncs complete normally, durability
+	// advances, and the watchdog's sync signal recovers.
+	for _, f := range p.Devs {
+		f.releaseHang(nil)
 	}
 }
 
@@ -200,6 +295,10 @@ func (d *Device) powerFail(f *DeviceFaults) {
 	d.fmu.Lock()
 	d.poweredOff = true
 	d.fmu.Unlock()
+	if f != nil {
+		// A sync hung at the failure instant fails: its bytes never made it.
+		f.releaseHang(ErrPowerFailed)
+	}
 	var tornBytes int64
 	var corrupt bool
 	if f != nil {
@@ -304,6 +403,36 @@ func (d *Device) faultOnSync() (tripAfter bool, err error) {
 	return false, nil
 }
 
+// grayWriteDelay reports the armed per-write latency fault.
+func (d *Device) grayWriteDelay() time.Duration {
+	if _, f, _ := d.faultState(); f != nil {
+		return f.WriteDelay
+	}
+	return 0
+}
+
+// graySyncFault consults the latency fault plane at a sync that already
+// passed faultOnSync: sleep is real wall-clock delay to apply before the
+// durability advance, and hang (when non-nil) must be awaited — its verdict
+// decides whether the sync completes or fails with durability frozen.
+func (d *Device) graySyncFault() (sleep time.Duration, hang func() error) {
+	_, f, _ := d.faultState()
+	if f == nil {
+		return 0, nil
+	}
+	sleep = f.SyncDelay
+	if f.SyncStallAfter > 0 || f.HangSyncAfter > 0 {
+		n := f.latSyncs.Add(1)
+		if f.SyncStallAfter > 0 && n == f.SyncStallAfter {
+			sleep += f.SyncStall
+		}
+		if f.HangSyncAfter > 0 && n >= f.HangSyncAfter {
+			hang = f.awaitHangRelease
+		}
+	}
+	return sleep, hang
+}
+
 // faultOnRead consults the fault plane at a read call.
 func (d *Device) faultOnRead() error {
 	plan, f, off := d.faultState()
@@ -312,6 +441,9 @@ func (d *Device) faultOnRead() error {
 	}
 	if plan == nil || f == nil {
 		return nil
+	}
+	if f.ReadDelay > 0 {
+		time.Sleep(f.ReadDelay)
 	}
 	if plan.tripped.Load() {
 		return ErrPowerFailed

@@ -1,0 +1,145 @@
+package simdisk
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func grayDevice(t *testing.T, df *DeviceFaults) (*Device, *FaultPlan) {
+	t.Helper()
+	d := New("ssd0", Unlimited())
+	plan := &FaultPlan{Devs: map[string]*DeviceFaults{"ssd0": df}}
+	plan.Arm(d)
+	t.Cleanup(plan.Disarm)
+	return d, plan
+}
+
+// TestGrayDelaysAddWallClock: the per-op latency faults charge real wall
+// time on writes, syncs, and reads, and disarming removes them.
+func TestGrayDelaysAddWallClock(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	d, plan := grayDevice(t, &DeviceFaults{WriteDelay: delay, SyncDelay: delay, ReadDelay: delay})
+	w := d.Create("log")
+
+	start := time.Now()
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Open("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 3*delay {
+		t.Fatalf("write+sync+read took %v, want >= %v with armed delays", elapsed, 3*delay)
+	}
+
+	plan.Disarm()
+	start = time.Now()
+	writeSynced(t, w, []byte("def"))
+	if elapsed := time.Since(start); elapsed >= delay {
+		t.Fatalf("disarmed write+sync took %v; delay fault still active", elapsed)
+	}
+}
+
+// TestGraySyncStallIsOneShot: SyncStallAfter stalls exactly the Nth sync;
+// neighbors complete at normal speed.
+func TestGraySyncStallIsOneShot(t *testing.T) {
+	const stall = 60 * time.Millisecond
+	d, _ := grayDevice(t, &DeviceFaults{SyncStallAfter: 2, SyncStall: stall})
+	w := d.Create("log")
+
+	timeSync := func() time.Duration {
+		start := time.Now()
+		writeSynced(t, w, []byte("x"))
+		return time.Since(start)
+	}
+	if e := timeSync(); e >= stall {
+		t.Fatalf("sync 1 took %v; stall should wait for sync 2", e)
+	}
+	if e := timeSync(); e < stall {
+		t.Fatalf("sync 2 took %v, want >= %v (the stalled one)", e, stall)
+	}
+	if e := timeSync(); e >= stall {
+		t.Fatalf("sync 3 took %v; the stall must be one-shot", e)
+	}
+}
+
+// hangSync arms HangSyncAfter:1 and starts a sync that must block; it
+// returns the device, the plan, and a channel carrying the sync's verdict.
+func hangSync(t *testing.T) (*Device, *FaultPlan, chan error) {
+	t.Helper()
+	d, plan := grayDevice(t, &DeviceFaults{HangSyncAfter: 1})
+	w := d.Create("log")
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Sync() }()
+	select {
+	case err := <-errCh:
+		t.Fatalf("hung sync returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	return d, plan, errCh
+}
+
+// TestGrayHungSyncReleasedByDisarm: lifting the fault completes the hung
+// sync normally — the gray fault healed, nothing was lost.
+func TestGrayHungSyncReleasedByDisarm(t *testing.T) {
+	_, plan, errCh := hangSync(t)
+	plan.Disarm()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("disarm-released sync failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sync still hung after Disarm")
+	}
+}
+
+// TestGrayHungSyncFailedByCrash: a device crash fails the hung sync with
+// ErrPowerFailed instead of leaving its caller blocked forever — the
+// teardown-liveness half of the hung-sync contract.
+func TestGrayHungSyncFailedByCrash(t *testing.T) {
+	d, _, errCh := hangSync(t)
+	d.Crash()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPowerFailed) {
+			t.Fatalf("crash-released sync: err = %v, want ErrPowerFailed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sync still hung after Crash")
+	}
+}
+
+// TestFailHungSyncsLeavesDeviceAlive: FailHungSyncs releases hung syncs
+// with ErrPowerFailed (so a logging pipeline can be joined) WITHOUT
+// powering the device off — later I/O still works. DB.Crash relies on
+// this ordering: release the flushers, join the pipeline, then crash the
+// devices.
+func TestFailHungSyncsLeavesDeviceAlive(t *testing.T) {
+	d, _, errCh := hangSync(t)
+	d.FailHungSyncs()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPowerFailed) {
+			t.Fatalf("released sync: err = %v, want ErrPowerFailed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sync still hung after FailHungSyncs")
+	}
+	// The device itself is still powered: plain writes succeed.
+	w2 := d.Create("log2")
+	if _, err := w2.Write([]byte("still alive")); err != nil {
+		t.Fatalf("write after FailHungSyncs: %v", err)
+	}
+}

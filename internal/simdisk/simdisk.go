@@ -288,6 +288,7 @@ func (d *Device) Size(name string) (int64, error) {
 // Crash simulates a power failure: every file is truncated to its durable
 // (synced) length.
 func (d *Device) Crash() {
+	d.FailHungSyncs()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, f := range d.files {
@@ -296,6 +297,21 @@ func (d *Device) Crash() {
 			f.data = f.data[:f.durable]
 		}
 		f.mu.Unlock()
+	}
+}
+
+// FailHungSyncs releases any sync hung on a gray latency fault
+// (DeviceFaults.HangSyncAfter) with ErrPowerFailed, durability frozen,
+// without powering the device off. Crash calls it implicitly; DB.Crash
+// calls it FIRST — before joining the logging pipeline — because a flush
+// goroutine blocked inside the hung sync would otherwise deadlock the
+// crash that is trying to stop it.
+func (d *Device) FailHungSyncs() {
+	d.fmu.Lock()
+	f := d.faults
+	d.fmu.Unlock()
+	if f != nil {
+		f.releaseHang(ErrPowerFailed)
 	}
 }
 
@@ -314,6 +330,9 @@ func (w *Writer) Write(p []byte) (int, error) {
 	allow, tripAfter, err := w.dev.faultBeforeWrite(len(p))
 	if err != nil {
 		return 0, err
+	}
+	if d := w.dev.grayWriteDelay(); d > 0 {
+		time.Sleep(d) // sticky-slow device: real wall time, not modeled time
 	}
 	w.f.mu.Lock()
 	w.f.data = append(w.f.data, p[:allow]...)
@@ -342,6 +361,18 @@ func (w *Writer) Sync() error {
 	tripAfter, err := w.dev.faultOnSync()
 	if err != nil {
 		return err
+	}
+	if sleep, hang := w.dev.graySyncFault(); sleep > 0 || hang != nil {
+		if sleep > 0 {
+			time.Sleep(sleep) // slow or stalled sync: completes normally after
+		}
+		if hang != nil {
+			// Hung sync: blocks until Disarm (completes normally) or a crash
+			// or power failure (fails, durability frozen).
+			if err := hang(); err != nil {
+				return err
+			}
+		}
 	}
 	w.f.mu.Lock()
 	w.f.durable = len(w.f.data)

@@ -386,6 +386,12 @@ func RunCluster(cfg ClusterConfig) (*Stats, error) {
 		}
 		st.Stamps = int(h.stampsUsed.Load())
 
+		// Client futures resolve at decision time; wait for the decide
+		// pieces themselves to land before auditing the 2PC status tables.
+		if !router.Quiesce(5 * time.Second) {
+			return st, violation(cycle, []string{"router failed to quiesce decide deliveries within 5s"})
+		}
+
 		if faults := h.oracle.absorb(js, st); len(faults) > 0 {
 			return st, violation(cycle, faults)
 		}

@@ -2,6 +2,7 @@ package torture
 
 import (
 	"math/rand"
+	"time"
 
 	"pacman/internal/simdisk"
 )
@@ -40,6 +41,32 @@ func servePlan(rng *rand.Rand, devices []*simdisk.Device) *simdisk.FaultPlan {
 		trigger.CrashAfterBytes = int64(64 + rng.Intn(16<<10))
 	}
 	return plan
+}
+
+// grayPlan derives one gray cycle's slow-fault plan. Unlike servePlan
+// nothing dies: one device gets slow, briefly stuck, or hung outright, and
+// the health watchdog must notice. Three flavors, sized against the gray
+// run's tight sync budget (grayHealth): a sticky-slow device whose every
+// sync lands well above budget, a one-shot stall long enough to breach for
+// several consecutive sweeps, and a sync hung until the plan is disarmed
+// (the pure in-flight-age signal — it never completes to be measured).
+func grayPlan(rng *rand.Rand, devices []*simdisk.Device) (*simdisk.FaultPlan, string) {
+	plan := &simdisk.FaultPlan{Devs: map[string]*simdisk.DeviceFaults{}}
+	df := &simdisk.DeviceFaults{}
+	plan.Devs[devices[rng.Intn(len(devices))].Name()] = df
+	switch rng.Intn(3) {
+	case 0:
+		df.SyncDelay = time.Duration(30+rng.Intn(20)) * time.Millisecond
+		df.WriteDelay = time.Duration(rng.Intn(3)) * time.Millisecond
+		return plan, "slow-sync"
+	case 1:
+		df.SyncStallAfter = int64(1 + rng.Intn(3))
+		df.SyncStall = time.Duration(150+rng.Intn(150)) * time.Millisecond
+		return plan, "sync-stall"
+	default:
+		df.HangSyncAfter = int64(1 + rng.Intn(3))
+		return plan, "hung-sync"
+	}
 }
 
 // recoveryPlan derives the fault plan armed while Restart runs, proving

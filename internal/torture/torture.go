@@ -83,6 +83,12 @@ type Config struct {
 	// attempts with res nil, "recovered" after a successful Restart with
 	// res set). Debugging aid; the driver never depends on it.
 	Hook func(stage string, cycle int, devices []*simdisk.Device, res *pacman.RecoveryResult)
+
+	// serveHealth, when set, is the health-watchdog config every restarted
+	// incarnation serves under. The gray run threads its tight budgets
+	// through recovery so a fault armed in a later cycle is still detected
+	// within the detection budget.
+	serveHealth *pacman.HealthConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +161,11 @@ type Stats struct {
 	// instances and router incarnations killed mid-traffic (zero outside
 	// RunCluster).
 	ShardKills, RouterKills int
+	// Gray-cycle counters (zero outside RunGray): DeadlineExpired counts
+	// futures resolved ErrDeadlineExceeded (execution unknown), Shed counts
+	// never-executed rejections (brownout at admission), and Brownouts
+	// counts watchdog brownout entries observed across the run.
+	DeadlineExpired, Shed, Brownouts int64
 }
 
 func (s Stats) String() string {
@@ -163,6 +174,9 @@ func (s Stats) String() string {
 		s.ServeTrips, s.RecoveryCrashes, s.TransientReadFaults, s.Checkpoints, s.SnapScans, s.Stamps, s.Replayed)
 	if s.ShardKills > 0 || s.RouterKills > 0 {
 		out += fmt.Sprintf(" shardKills=%d routerKills=%d", s.ShardKills, s.RouterKills)
+	}
+	if s.DeadlineExpired > 0 || s.Shed > 0 || s.Brownouts > 0 {
+		out += fmt.Sprintf(" deadlineExpired=%d shed=%d brownouts=%d", s.DeadlineExpired, s.Shed, s.Brownouts)
 	}
 	return out
 }
@@ -311,9 +325,13 @@ func (h *harness) recoverCycle(cfg Config, rng *rand.Rand, devices []*pacman.Dev
 			}
 		}
 
+		serve := pacman.Options{MaxRetries: 1 << 20}
+		if cfg.serveHealth != nil {
+			serve.Health = *cfg.serveHealth
+		}
 		db2, r, err := pacman.Restart(devices, h.bp, pacman.RecoverConfig{
 			Threads: cfg.Threads,
-			Serve:   pacman.Options{MaxRetries: 1 << 20},
+			Serve:   serve,
 		})
 		if rplan != nil {
 			// Close the race between Restart finishing and the armed

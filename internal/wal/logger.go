@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pacman/internal/health"
 	"pacman/internal/simdisk"
 	"pacman/internal/txn"
 )
@@ -132,6 +133,19 @@ type Logger struct {
 	// encode buffer one flush's records are framed into.
 	recs   []*txn.Committed
 	encBuf []byte
+
+	// Sync-latency telemetry for the gray-failure watchdog: syncStart is
+	// the unix-nano start of the sync currently blocking the logger
+	// goroutine (0 when none), so a hung device shows up as an ever-growing
+	// in-flight age even though the sync never returns to be measured.
+	syncStart atomic.Int64
+	syncEWMA  health.EWMA
+	lastSync  atomic.Int64
+	// lastSyncAt is the unix-nano completion time of the most recent sync:
+	// the EWMA is evidence of slowness only while a sample is fresh (see
+	// ewmaEvidenceWindow).
+	lastSyncAt atomic.Int64
+	syncs      atomic.Uint64
 
 	// flushed-but-unreleased transactions, keyed by epoch order.
 	pendMu  sync.Mutex
@@ -403,6 +417,72 @@ func (s *LogSet) updatePepoch() {
 	}
 }
 
+// SyncStats reports one logger device's sync-latency telemetry.
+type SyncStats struct {
+	Device string        `json:"device"`
+	EWMA   time.Duration `json:"ewma"`
+	Last   time.Duration `json:"last"`
+	// Inflight is how long the currently blocked sync has been running
+	// (zero when no sync is in flight) — the signal that exposes a hung
+	// device whose sync never returns.
+	Inflight time.Duration `json:"inflight,omitempty"`
+	Syncs    uint64        `json:"syncs"`
+}
+
+// SyncStats returns per-device sync telemetry, in logger order (empty with
+// logging off).
+func (s *LogSet) SyncStats() []SyncStats {
+	now := time.Now()
+	out := make([]SyncStats, 0, len(s.loggers))
+	for _, lg := range s.loggers {
+		st := SyncStats{
+			Device: lg.dev.Name(),
+			EWMA:   lg.syncEWMA.Load(),
+			Last:   time.Duration(lg.lastSync.Load()),
+			Syncs:  lg.syncs.Load(),
+		}
+		if at := lg.syncStart.Load(); at != 0 {
+			st.Inflight = now.Sub(time.Unix(0, at))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ewmaEvidenceWindow bounds how long a completed sync's latency remains
+// evidence that the device is slow. An idle device produces no samples, so
+// without an expiry a breached average would hold the sync signal above
+// budget forever — and a brownout that sheds all traffic (hence stops
+// producing syncs) could never heal. Past the window the EWMA term is
+// ignored: no sync in flight and none completed recently means the device
+// is idle, not slow, and an idle device delays no one. The in-flight term
+// is unaffected — a hung sync stays visible for as long as it hangs.
+const ewmaEvidenceWindow = 250 * time.Millisecond
+
+// SyncProbe returns a watchdog signal: the worst, over all devices, of the
+// smoothed sync latency (while fresh — see ewmaEvidenceWindow) and the age
+// of any sync currently blocked. The in-flight term is what catches a
+// permanently hung sync — a latency that never completes produces no
+// sample, but its age grows every sweep.
+func (s *LogSet) SyncProbe() func(now time.Time) time.Duration {
+	return func(now time.Time) time.Duration {
+		var worst time.Duration
+		for _, lg := range s.loggers {
+			if at := lg.lastSyncAt.Load(); at != 0 && now.Sub(time.Unix(0, at)) <= ewmaEvidenceWindow {
+				if v := lg.syncEWMA.Load(); v > worst {
+					worst = v
+				}
+			}
+			if at := lg.syncStart.Load(); at != 0 {
+				if v := now.Sub(time.Unix(0, at)); v > worst {
+					worst = v
+				}
+			}
+		}
+		return worst
+	}
+}
+
 // pepochCompactEvery bounds the append-only marker: after this many
 // appended records the marker is rewritten to a single record (4 KiB of
 // appends between compactions), so neither the file nor recovery's scan of
@@ -510,7 +590,7 @@ func (lg *Logger) flush(safeEpoch uint32) {
 		lo = hi
 	}
 	if lg.set.cfg.Sync && lg.curWriter != nil {
-		if err := lg.curWriter.Sync(); err != nil {
+		if err := lg.timedSync(lg.curWriter); err != nil {
 			// Power failure (or injected fault): nothing this flush wrote
 			// is durable, and the records must NOT reach pending — a
 			// record flushed into an epoch the pepoch already covers would
@@ -556,9 +636,25 @@ func (lg *Logger) writerFor(batch uint32) *simdisk.Writer {
 
 func (lg *Logger) closeBatch() {
 	if lg.curWriter != nil && lg.set.cfg.Sync {
-		lg.curWriter.Sync()
+		lg.timedSync(lg.curWriter)
 	}
 	lg.curWriter = nil
+}
+
+// timedSync wraps a device sync with the latency telemetry the watchdog
+// samples: the in-flight marker is set BEFORE the sync so a hung device is
+// observable while the call is still blocked.
+func (lg *Logger) timedSync(w *simdisk.Writer) error {
+	start := time.Now()
+	lg.syncStart.Store(start.UnixNano())
+	err := w.Sync()
+	d := time.Since(start)
+	lg.syncStart.Store(0)
+	lg.syncEWMA.Observe(d)
+	lg.lastSync.Store(int64(d))
+	lg.lastSyncAt.Store(time.Now().UnixNano())
+	lg.syncs.Add(1)
+	return err
 }
 
 // takeReleased removes and returns pending transactions with epoch <= pe.

@@ -60,12 +60,19 @@ type Waiter interface {
 type Backend interface {
 	// Procs is the procedure table in procedure-ID order (HelloAck payload).
 	Procs() []string
-	// TrySubmit admits one request for the named procedure.
-	TrySubmit(mode SubmitMode, proc string, args pacman.Args) (Waiter, bool)
+	// TrySubmit admits one request for the named procedure. A non-zero
+	// deadline (already anchored to the server's clock) arms fail-fast
+	// expiry: the Waiter resolves ErrDeadlineExceeded if the commit is not
+	// durable in time.
+	TrySubmit(mode SubmitMode, proc string, args pacman.Args, deadline time.Time) (Waiter, bool)
 	// QueueDepth and QueueCap describe the admission queue for
 	// backpressure frames.
 	QueueDepth() int
 	QueueCap() int
+	// Brownout reports whether the backend's health watchdog is shedding
+	// new work; the server answers submissions with Backpressure frames
+	// instead of admitting them while it holds.
+	Brownout() bool
 	// Close retires the backend (server Drain/Close).
 	Close()
 }
@@ -89,16 +96,16 @@ type feBackend struct {
 
 func (b *feBackend) Procs() []string { return b.procs }
 
-func (b *feBackend) TrySubmit(mode SubmitMode, proc string, args pacman.Args) (Waiter, bool) {
+func (b *feBackend) TrySubmit(mode SubmitMode, proc string, args pacman.Args, deadline time.Time) (Waiter, bool) {
 	var fut *pacman.Future
 	var ok bool
 	switch mode {
 	case ModeAdHoc:
-		fut, ok = b.fe.TrySubmitAdHoc(proc, args)
+		fut, ok = b.fe.TrySubmitAdHocDeadline(proc, args, deadline)
 	case ModePrepare, ModeDecide:
-		fut, ok = b.fe.TrySubmitDist(proc, args)
+		fut, ok = b.fe.TrySubmitDistDeadline(proc, args, deadline)
 	default:
-		fut, ok = b.fe.TrySubmit(proc, args)
+		fut, ok = b.fe.TrySubmitDeadline(proc, args, deadline)
 	}
 	if fut == nil {
 		return nil, ok
@@ -108,6 +115,7 @@ func (b *feBackend) TrySubmit(mode SubmitMode, proc string, args pacman.Args) (W
 
 func (b *feBackend) QueueDepth() int { return b.fe.QueueDepth() }
 func (b *feBackend) QueueCap() int   { return b.fe.QueueCap() }
+func (b *feBackend) Brownout() bool  { return b.fe.Brownout() }
 func (b *feBackend) Close()          { b.fe.Close() }
 
 // Server speaks the wire protocol over any set of TCP/unix listeners,
@@ -433,7 +441,7 @@ func (c *srvConn) handleSubmit(h Header, p []byte) {
 		c.send(outMsg{h: Header{Type: FrameResult, Code: CodeDraining, ReqID: h.ReqID}})
 		return
 	}
-	procID, args, err := ParseSubmit(p)
+	procID, timeout, args, err := ParseSubmit(p, h.Flags)
 	if err != nil {
 		c.send(outMsg{h: Header{Type: FrameResult, Code: CodeBadFrame, ReqID: h.ReqID},
 			payload: AppendResultErr(nil, err.Error())})
@@ -442,6 +450,13 @@ func (c *srvConn) handleSubmit(h Header, p []byte) {
 	if int(procID) >= len(st.procs) {
 		c.send(outMsg{h: Header{Type: FrameResult, Code: CodeUnknownProc, ReqID: h.ReqID},
 			payload: AppendResultErr(nil, fmt.Sprintf("proc id %d outside table of %d", procID, len(st.procs)))})
+		return
+	}
+	if st.be.Brownout() {
+		// Health watchdog brownout: shed at the wire before the frontend
+		// sees the request. Backpressure (not a terminal Result) so the
+		// client's pacing/retry machinery handles it like a full queue.
+		c.backpressure(h.ReqID, st)
 		return
 	}
 	if int(c.inflightN.Load()) >= c.s.cfg.Window {
@@ -458,7 +473,13 @@ func (c *srvConn) handleSubmit(h Header, p []byte) {
 	case h.Flags&FlagAdHoc != 0:
 		mode = ModeAdHoc
 	}
-	fut, ok := st.be.TrySubmit(mode, name, args)
+	// The wire carries a relative timeout (clock-skew safe); anchor it to
+	// this server's clock at receipt.
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	fut, ok := st.be.TrySubmit(mode, name, args, deadline)
 	if fut == nil {
 		// Queue full: the request was never executed — backpressure, the
 		// client retries. This is the admission-control path that keeps a
@@ -470,7 +491,7 @@ func (c *srvConn) handleSubmit(h Header, p []byte) {
 	_ = ok // !ok with a non-nil future carries a terminal error; respond normally
 	c.inflightN.Add(1)
 	c.inflight.Add(1)
-	go c.respond(h.ReqID, fut)
+	go c.respond(h.ReqID, fut, st)
 }
 
 func (c *srvConn) backpressure(reqID uint64, st *feState) {
@@ -481,11 +502,19 @@ func (c *srvConn) backpressure(reqID uint64, st *feState) {
 }
 
 // respond waits one future out and sends its Result frame.
-func (c *srvConn) respond(reqID uint64, fut Waiter) {
+func (c *srvConn) respond(reqID uint64, fut Waiter, st *feState) {
 	defer c.inflight.Done()
 	defer c.inflightN.Add(-1)
 	ts, err := fut.Wait()
 	code, msg := ErrorCode(err)
+	if code == CodeBackpressure {
+		// The backend shed the admitted request after the fact (brownout, or
+		// a router's open circuit breaker). The guarantee is identical to a
+		// full queue — never executed — so surface the same Backpressure
+		// frame and let the client's retry/backoff machinery handle it.
+		c.backpressure(reqID, st)
+		return
+	}
 	h := Header{Type: FrameResult, Code: code, ReqID: reqID}
 	if code == CodeOK {
 		c.send(outMsg{h: h, payload: AppendResultOK(nil, uint64(ts))})

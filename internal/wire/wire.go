@@ -26,9 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"pacman/internal/frontend"
 	"pacman/internal/proc"
+	"pacman/internal/txn"
 	"pacman/internal/wal"
 )
 
@@ -76,6 +78,12 @@ const (
 	// FlagAdHoc marks a Submit as an ad-hoc transaction (tuple-level
 	// logging even under command logging).
 	FlagAdHoc uint8 = 1 << 0
+	// FlagDeadline marks a Submit/Prepare/Decide payload as carrying a
+	// per-request timeout: 8 extra bytes (relative nanoseconds, LE)
+	// between the procedure id and the arguments. The timeout is relative
+	// so clock skew between client and server cannot expire a request in
+	// transit; the server anchors it to its own clock on receipt.
+	FlagDeadline uint8 = 1 << 1
 )
 
 // Status codes carried in Result (and Backpressure/GoAway) frames.
@@ -91,6 +99,10 @@ const (
 	CodeBadVersion   uint16 = 8  // no version overlap in Hello
 	CodeBadFrame     uint16 = 9  // malformed frame or handshake violation
 	CodeInternal     uint16 = 10 // unexpected server-side failure
+	// CodeDeadlineExceeded: the request's deadline passed before its commit
+	// became durable. Execution state is unknown — the request may have been
+	// shed before execution, or executed with durability still in flight.
+	CodeDeadlineExceeded uint16 = 11
 )
 
 // frameNames and codeNames drive String rendering AND the doc-drift test:
@@ -120,6 +132,8 @@ var codeNames = map[uint16]string{
 	CodeBadVersion:   "CodeBadVersion",
 	CodeBadFrame:     "CodeBadFrame",
 	CodeInternal:     "CodeInternal",
+
+	CodeDeadlineExceeded: "CodeDeadlineExceeded",
 }
 
 // FrameName renders a frame type for diagnostics.
@@ -299,20 +313,40 @@ func AppendSubmit(buf []byte, procID uint32, args proc.Args) []byte {
 	return proc.AppendArgs(buf, args)
 }
 
-// ParseSubmit decodes a Submit payload.
-func ParseSubmit(p []byte) (procID uint32, args proc.Args, err error) {
+// AppendSubmitDeadline appends a Submit payload carrying a per-request
+// timeout: procedure id, then the relative timeout in nanoseconds, then the
+// arguments. The frame's header must set FlagDeadline so the receiver knows
+// the extra field is present.
+func AppendSubmitDeadline(buf []byte, procID uint32, timeout time.Duration, args proc.Args) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, procID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(timeout))
+	return proc.AppendArgs(buf, args)
+}
+
+// ParseSubmit decodes a Submit payload under the frame's flags. When
+// FlagDeadline is set the payload carries a relative timeout (nanoseconds)
+// between the procedure id and the arguments; timeout is zero otherwise.
+func ParseSubmit(p []byte, flags uint8) (procID uint32, timeout time.Duration, args proc.Args, err error) {
 	if len(p) < 4 {
-		return 0, nil, ErrTruncated
+		return 0, 0, nil, ErrTruncated
 	}
 	procID = binary.LittleEndian.Uint32(p)
-	args, n, err := proc.DecodeArgs(p[4:])
+	off := 4
+	if flags&FlagDeadline != 0 {
+		if len(p) < off+8 {
+			return 0, 0, nil, ErrTruncated
+		}
+		timeout = time.Duration(binary.LittleEndian.Uint64(p[off:]))
+		off += 8
+	}
+	args, n, err := proc.DecodeArgs(p[off:])
 	if err != nil {
-		return 0, nil, fmt.Errorf("wire: submit args: %w", err)
+		return 0, 0, nil, fmt.Errorf("wire: submit args: %w", err)
 	}
-	if 4+n != len(p) {
-		return 0, nil, fmt.Errorf("%w: %d trailing bytes after args", ErrBadFrame, len(p)-4-n)
+	if off+n != len(p) {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes after args", ErrBadFrame, len(p)-off-n)
 	}
-	return procID, args, nil
+	return procID, timeout, args, nil
 }
 
 // AppendResultOK appends the payload of a CodeOK Result: the commit TS.
@@ -373,14 +407,23 @@ func ParseBackpressure(p []byte) (depth, capacity uint32, err error) {
 type StatusError struct {
 	Code uint16
 	Msg  string
+	// Attempts is how many times the client tried this call before giving
+	// up (zero when the first attempt produced the result). Retries happen
+	// on Backpressure/Draining sheds; the count makes "the server shed me
+	// N times" diagnosable from the error alone.
+	Attempts int
 }
 
-// Error renders the code name and the server's message.
+// Error renders the code name, the server's message, and the retry count.
 func (e *StatusError) Error() string {
-	if e.Msg == "" {
-		return fmt.Sprintf("wire: %s", CodeName(e.Code))
+	s := fmt.Sprintf("wire: %s", CodeName(e.Code))
+	if e.Msg != "" {
+		s += ": " + e.Msg
 	}
-	return fmt.Sprintf("wire: %s: %s", CodeName(e.Code), e.Msg)
+	if e.Attempts > 0 {
+		s += fmt.Sprintf(" (after %d attempts)", e.Attempts)
+	}
+	return s
 }
 
 // Sentinels for codes with no in-process equivalent.
@@ -391,6 +434,10 @@ var (
 	// ErrDraining means the server rejected the submission because it is
 	// draining; the request was never executed.
 	ErrDraining = errors.New("wire: server draining")
+	// ErrBackpressure means the server shed the request at admission (full
+	// queue or brownout) and the client's retry budget ran out; the request
+	// was never executed.
+	ErrBackpressure = errors.New("wire: backpressure, retry budget exhausted")
 )
 
 // Unwrap maps the status code onto the matching engine sentinel so that
@@ -407,12 +454,16 @@ func (e *StatusError) Unwrap() error {
 		return wal.ErrClosed
 	case CodeRejected:
 		return frontend.ErrClosed
+	case CodeBackpressure:
+		return ErrBackpressure
 	case CodeDraining:
 		return ErrDraining
 	case CodeBadVersion:
 		return ErrVersionMismatch
 	case CodeBadFrame:
 		return ErrBadFrame
+	case CodeDeadlineExceeded:
+		return txn.ErrDeadlineExceeded
 	}
 	return nil
 }
@@ -438,6 +489,16 @@ func ErrorCode(err error) (uint16, string) {
 		return CodeCrashed, err.Error()
 	case errors.Is(err, wal.ErrClosed):
 		return CodeClosed, err.Error()
+	case errors.Is(err, txn.ErrDeadlineExceeded):
+		return CodeDeadlineExceeded, err.Error()
+	case errors.Is(err, frontend.ErrBrownout):
+		return CodeBackpressure, err.Error()
+	case errors.Is(err, ErrBackpressure):
+		// Never-executed sheds that originated behind another wire hop (a
+		// router's open circuit breaker wraps ErrBackpressure): keep the
+		// retry-safe classification across the hop instead of collapsing to
+		// CodeInternal's "maybe".
+		return CodeBackpressure, err.Error()
 	case errors.Is(err, frontend.ErrClosed):
 		return CodeRejected, err.Error()
 	default:

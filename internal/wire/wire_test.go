@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"pacman/internal/frontend"
 	"pacman/internal/proc"
@@ -70,9 +71,9 @@ func TestHelloAckCodec(t *testing.T) {
 func TestSubmitCodec(t *testing.T) {
 	args := proc.Args{proc.A(tuple.I(42)), proc.A(tuple.F(3.5)), proc.A(tuple.S("x"))}
 	p := AppendSubmit(nil, 7, args)
-	id, got, err := ParseSubmit(p)
-	if err != nil || id != 7 {
-		t.Fatalf("round trip: id %d err %v", id, err)
+	id, timeout, got, err := ParseSubmit(p, 0)
+	if err != nil || id != 7 || timeout != 0 {
+		t.Fatalf("round trip: id %d timeout %v err %v", id, timeout, err)
 	}
 	if len(got) != 3 || got[0][0].Int() != 42 || got[2][0].Str() != "x" {
 		t.Fatalf("args: %v", got)
@@ -89,8 +90,31 @@ func TestSubmitCodec(t *testing.T) {
 		{"garbage args", append(append([]byte(nil), p[:4]...), 0xff, 0xff, 0xff)},
 	}
 	for _, tc := range cases {
-		if _, _, err := ParseSubmit(tc.p); err == nil {
+		if _, _, _, err := ParseSubmit(tc.p, 0); err == nil {
 			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+func TestSubmitDeadlineCodec(t *testing.T) {
+	args := proc.Args{proc.A(tuple.I(42))}
+	p := AppendSubmitDeadline(nil, 7, 250*time.Millisecond, args)
+	id, timeout, got, err := ParseSubmit(p, FlagDeadline)
+	if err != nil || id != 7 || timeout != 250*time.Millisecond {
+		t.Fatalf("round trip: id %d timeout %v err %v", id, timeout, err)
+	}
+	if len(got) != 1 || got[0][0].Int() != 42 {
+		t.Fatalf("args: %v", got)
+	}
+	// Without the flag, the 8 timeout bytes must NOT silently reparse as
+	// arguments or trailing garbage must be caught.
+	if _, _, _, err := ParseSubmit(p, 0); err == nil {
+		t.Fatalf("deadline payload without FlagDeadline decoded without error")
+	}
+	// Every strict prefix must fail cleanly under the flag.
+	for cut := 0; cut < len(p); cut++ {
+		if _, _, _, err := ParseSubmit(p[:cut], FlagDeadline); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(p))
 		}
 	}
 }

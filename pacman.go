@@ -44,12 +44,15 @@ package pacman
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pacman/internal/analysis"
 	"pacman/internal/checkpoint"
 	"pacman/internal/engine"
+	"pacman/internal/frontend"
+	"pacman/internal/health"
 	"pacman/internal/metrics"
 	"pacman/internal/mvcc"
 	"pacman/internal/proc"
@@ -101,6 +104,13 @@ type (
 	// MVCCStats reports the multi-version subsystem's observability
 	// counters (versions reclaimed, chain lengths, GC floor, pinned views).
 	MVCCStats = mvcc.Stats
+	// HealthSnapshot is a point-in-time report from the gray-failure
+	// watchdog: state (healthy/brownout), per-signal values vs budgets, and
+	// the retained transition history. JSON-tagged for dashboards and the
+	// bench harness.
+	HealthSnapshot = health.Snapshot
+	// SyncStats is one log device's sync-latency telemetry.
+	SyncStats = wal.SyncStats
 )
 
 // Logging schemes.
@@ -195,6 +205,72 @@ type Options struct {
 	// Frontend.Submit) for new code — they carry per-transaction
 	// (TS, ExecAt, DurableAt) instead of one global hook.
 	OnRelease func(ts []TS, start []time.Time)
+	// Health tunes the gray-failure watchdog (zero value: enabled with
+	// generous budgets scaled off EpochInterval).
+	Health HealthConfig
+}
+
+// HealthConfig tunes the health watchdog a started instance runs (see
+// internal/health). The watchdog samples a handful of liveness signals —
+// epoch-clock advance, persisted-epoch advance, log-device sync latency,
+// and frontend queue stall — and flips every Frontend into brownout
+// (shedding new work with ErrBrownout, surfaced over the wire as
+// Backpressure) when a signal stays over budget, clearing it again once
+// the signal recovers. The zero value enables the watchdog with budgets
+// generous enough that only a genuinely gray instance — a hung or
+// crawling device, a wedged epoch clock — ever trips them.
+type HealthConfig struct {
+	// Disable turns the watchdog off entirely.
+	Disable bool
+	// Interval is the sweep cadence (default max(EpochInterval, 5ms)).
+	Interval time.Duration
+	// TripAfter / ClearAfter are the brownout hysteresis in sweeps
+	// (defaults 2 and 4 — recovery must be proven, not glimpsed).
+	TripAfter  int
+	ClearAfter int
+	// EpochStallBudget bounds how long the epoch clock may fail to advance
+	// (default max(50×EpochInterval, 1s)).
+	EpochStallBudget time.Duration
+	// PepochStallBudget bounds how long the persisted epoch may fail to
+	// advance while logging is active (default max(100×EpochInterval, 2s)).
+	// Note the SiloR liveness contract: an idle raw Session that never
+	// heartbeats stalls the pepoch legitimately — this signal assumes
+	// Frontends (which heartbeat internally) or well-behaved Sessions.
+	PepochStallBudget time.Duration
+	// SyncLatencyBudget bounds a log device's sync latency — the worst over
+	// devices of max(EWMA, in-flight sync age), so a sync that never
+	// returns is seen as ever-growing latency (default max(50×EpochInterval,
+	// 1s)).
+	SyncLatencyBudget time.Duration
+	// QueueStallBudget bounds how long a frontend's submission queue may go
+	// without a dequeue while non-empty (default max(100×EpochInterval, 2s)).
+	QueueStallBudget time.Duration
+	// OnTransition observes brownout entry/exit (after the built-in
+	// frontend fan-out). Must not block.
+	OnTransition func(from, to string, cause string)
+	// Logf, when non-nil, receives one line per watchdog transition.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults scales the zero-value budgets off the instance's epoch
+// cadence, flooring them at human-scale values so ordinary tests and
+// deployments never trip on scheduling noise.
+func (h HealthConfig) withDefaults(epoch time.Duration) HealthConfig {
+	atLeast := func(d, scaled, floor time.Duration) time.Duration {
+		if d > 0 {
+			return d
+		}
+		if scaled < floor {
+			return floor
+		}
+		return scaled
+	}
+	h.Interval = atLeast(h.Interval, epoch, 5*time.Millisecond)
+	h.EpochStallBudget = atLeast(h.EpochStallBudget, 50*epoch, time.Second)
+	h.PepochStallBudget = atLeast(h.PepochStallBudget, 100*epoch, 2*time.Second)
+	h.SyncLatencyBudget = atLeast(h.SyncLatencyBudget, 50*epoch, time.Second)
+	h.QueueStallBudget = atLeast(h.QueueStallBudget, 100*epoch, 2*time.Second)
+	return h
 }
 
 // DB is a database instance: catalog, transaction manager, loggers, and
@@ -225,6 +301,16 @@ type DB struct {
 	// valueLog is Options.ValueLogProcs as a set: procedures whose commits
 	// are forced onto the value-logging path.
 	valueLog map[string]bool
+
+	// watchdog is the gray-failure monitor started with the instance; its
+	// brownout transitions fan out to every live frontend. frontends is the
+	// registry that fan-out walks (and the queue-stall signal samples),
+	// guarded by femu; brownout caches the current state so a frontend
+	// created mid-brownout starts shedding immediately.
+	watchdog  *health.Watchdog
+	femu      sync.Mutex
+	frontends map[*frontend.Frontend]struct{}
+	brownout  atomic.Bool
 }
 
 // Adopt wraps a pre-built catalog and procedure registry (e.g., one of the
@@ -419,7 +505,112 @@ func (d *DB) Start() error {
 		d.daemon.SeedIDs(d.ckptSeed)
 		d.daemon.Start()
 	}
+	if !d.opts.Health.Disable {
+		d.startWatchdog()
+	}
 	return nil
+}
+
+// startWatchdog assembles the gray-failure watchdog's signal set and runs
+// it. Signals sample lock-free counters and EWMAs, so the sweep costs a few
+// loads per interval.
+func (d *DB) startWatchdog() {
+	hc := d.opts.Health.withDefaults(d.opts.EpochInterval)
+	w := health.New(health.Config{
+		Interval:   hc.Interval,
+		TripAfter:  hc.TripAfter,
+		ClearAfter: hc.ClearAfter,
+		OnTransition: func(from, to health.State, cause string) {
+			d.setBrownout(to == health.Brownout)
+			if hc.OnTransition != nil {
+				hc.OnTransition(from.String(), to.String(), cause)
+			}
+		},
+		Logf: hc.Logf,
+	})
+	// Epoch clock must tick: a stalled clock freezes group commit.
+	w.Register("epoch-stall", hc.EpochStallBudget,
+		health.CounterAge(func() uint64 { return uint64(d.mgr.Epoch()) }))
+	if d.logset.Active() {
+		// The durability frontier must advance while logging; a hung device
+		// or wedged flush shows here first.
+		w.Register("pepoch-stall", hc.PepochStallBudget,
+			health.CounterAge(func() uint64 { return uint64(d.PersistedEpoch()) }))
+		// Per-device sync latency: worst of EWMA and in-flight sync age, so
+		// a sync that never completes reads as ever-growing latency.
+		w.Register("sync-latency", hc.SyncLatencyBudget, d.logset.SyncProbe())
+	}
+	// Frontend queue stall: a non-empty queue nothing dequeues from means
+	// the session pool is wedged even though the clock still ticks. One
+	// aggregate signal over the live-frontend registry, so frontends can
+	// come and go without re-registering.
+	w.Register("queue-stall", hc.QueueStallBudget, func(now time.Time) time.Duration {
+		var worst time.Duration
+		d.femu.Lock()
+		for fe := range d.frontends {
+			if v := fe.QueueStall(now); v > worst {
+				worst = v
+			}
+		}
+		d.femu.Unlock()
+		return worst
+	})
+	d.watchdog = w
+	w.Start()
+}
+
+// registerFrontend adds a frontend to the brownout fan-out (and the
+// queue-stall signal), applying the current brownout state so a frontend
+// born mid-brownout sheds from its first submission.
+func (d *DB) registerFrontend(fe *frontend.Frontend) {
+	d.femu.Lock()
+	if d.frontends == nil {
+		d.frontends = make(map[*frontend.Frontend]struct{})
+	}
+	d.frontends[fe] = struct{}{}
+	fe.SetBrownout(d.brownout.Load())
+	d.femu.Unlock()
+}
+
+// dropFrontend removes a closed frontend from the registry.
+func (d *DB) dropFrontend(fe *frontend.Frontend) {
+	d.femu.Lock()
+	delete(d.frontends, fe)
+	d.femu.Unlock()
+}
+
+// setBrownout flips every live frontend's shed flag; runs on the watchdog
+// goroutine at each transition.
+func (d *DB) setBrownout(on bool) {
+	d.femu.Lock()
+	d.brownout.Store(on)
+	for fe := range d.frontends {
+		fe.SetBrownout(on)
+	}
+	d.femu.Unlock()
+}
+
+// Health returns the watchdog's current snapshot: state, per-signal values
+// against budgets, and the retained transition history. A disabled (or
+// not-started) watchdog reports a healthy snapshot with no signals.
+func (d *DB) Health() HealthSnapshot {
+	if d.watchdog == nil {
+		return HealthSnapshot{State: health.Healthy.String()}
+	}
+	return d.watchdog.Snapshot()
+}
+
+// Brownout reports whether the watchdog currently holds the instance in
+// brownout (every frontend shedding new work).
+func (d *DB) Brownout() bool { return d.brownout.Load() }
+
+// SyncStats reports per-device log sync-latency telemetry (nil when logging
+// is off or the instance is not started).
+func (d *DB) SyncStats() []SyncStats {
+	if d.logset == nil {
+		return nil
+	}
+	return d.logset.SyncStats()
 }
 
 // MustStart is Start that panics on error.
@@ -571,6 +762,9 @@ func (d *DB) Epoch() uint32 { return d.mgr.Epoch() }
 // Close shuts the instance down cleanly: retires nothing by itself (retire
 // sessions first), flushes all logs, and stops background goroutines.
 func (d *DB) Close() {
+	if d.watchdog != nil {
+		d.watchdog.Stop()
+	}
 	if d.daemon != nil {
 		d.daemon.Stop()
 	}
@@ -588,6 +782,9 @@ func (d *DB) Close() {
 // every device loses its unsynced tail. The in-memory state is left behind
 // for post-mortem comparison; recover into a fresh instance.
 func (d *DB) Crash() {
+	if d.watchdog != nil {
+		d.watchdog.Stop()
+	}
 	if d.daemon != nil {
 		d.daemon.Stop()
 	}
@@ -596,6 +793,11 @@ func (d *DB) Crash() {
 	}
 	d.mgr.Stop()
 	if d.logset != nil {
+		// A flush blocked inside a gray hung-sync fault must fail now, or
+		// Abort's pipeline join would deadlock on it.
+		for _, dev := range d.devices {
+			dev.FailHungSyncs()
+		}
 		d.logset.Abort()
 	}
 	for _, dev := range d.devices {
@@ -627,6 +829,20 @@ type Future = txn.Future
 var (
 	ErrCrashed = wal.ErrCrashed
 	ErrClosed  = wal.ErrClosed
+)
+
+// Gray-failure sentinels, re-exported from the internals so callers can
+// classify without extra imports:
+//
+//   - ErrDeadlineExceeded: the request's deadline passed before its durable
+//     ack. Execution state is UNKNOWN (like a connection loss) — the
+//     transaction may still commit durably after the caller gave up, so
+//     never auto-retry it.
+//   - ErrBrownout: the health watchdog is shedding new work; the request was
+//     NEVER executed and is always safe to resubmit after backoff.
+var (
+	ErrDeadlineExceeded = txn.ErrDeadlineExceeded
+	ErrBrownout         = frontend.ErrBrownout
 )
 
 // Session is a worker-thread handle for executing transactions, pinned to
