@@ -6,7 +6,7 @@ GO ?= go
 # over 8 sessions, crash resolution); internal/frontend has the pool-level
 # drain/backpressure/ordering tests; torture/simdisk/checkpoint carry the
 # crash-injection subsystem and its fault plane.
-RACE_PKGS := . ./client/... ./internal/wire/... ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/mvcc/... ./internal/engine/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/... ./internal/shard/... ./internal/health/... ./cmd/pacman-router/...
+RACE_PKGS := . ./client/... ./internal/wire/... ./internal/frontend/... ./internal/recovery/... ./internal/sched/... ./internal/wal/... ./internal/txn/... ./internal/mvcc/... ./internal/engine/... ./internal/torture/... ./internal/simdisk/... ./internal/checkpoint/... ./internal/shard/... ./internal/health/... ./internal/harness/... ./cmd/pacman-router/...
 
 .PHONY: check fmt vet build test race torture smoke bench bench-all docs
 
@@ -49,10 +49,17 @@ torture:
 # experiment (tps with/without a concurrent scanner, scan staleness in
 # epochs, MVCC GC counters, emitting BENCH_mixed.json), and the
 # gray-failure experiment (deadline-bounded traffic vs slow/hung devices,
-# watchdog detection, gray torture oracle, emitting BENCH_gray.json).
-# Machine-readable BENCH_<experiment>.json results land in bench-results/.
+# watchdog detection, gray torture oracle, emitting BENCH_gray.json), and
+# the core-scaling matrix (per-core submission queues / sharded release /
+# striped encode: tps + steals over a reduced 1/2/4-worker x 1/2-device
+# matrix, emitting BENCH_scaling.json). Machine-readable
+# BENCH_<experiment>.json results land in bench-results/; the
+# TestBenchArtifactsPresent drift check runs right after and fails when
+# any experiment listed here is missing its BENCH_<exp>.json (it skips on
+# checkouts that never ran smoke — the directory is gitignored).
 smoke:
-	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,mixed,restart,torture,net,shard,gray -duration 300ms -workers 2 -json bench-results
+	$(GO) run ./cmd/pacman-bench -exp reload,latency,throughput,mixed,restart,torture,net,shard,gray,scaling -duration 300ms -workers 2 -json bench-results
+	$(GO) test -count=1 -run TestBenchArtifactsPresent .
 
 # The documentation gate: the spec-first doc-drift test (wire constants vs
 # docs/PROTOCOL.md's normative tables), the relative-link check over

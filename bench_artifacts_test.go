@@ -1,0 +1,50 @@
+package pacman_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestBenchArtifactsPresent is the bench-artifact drift check: every
+// experiment on the Makefile smoke target's -exp list must have a
+// bench-results/BENCH_<exp>.json on disk. The smoke target runs this test
+// right after the bench run, so an experiment that lands on the smoke list
+// without emitting its artifact (or a rename that strands a stale file
+// while the new id writes nothing) fails the build instead of silently
+// dropping a record — which is how BENCH_gray.json went missing for a
+// whole PR. On a checkout that has never run `make smoke` the results
+// directory doesn't exist (it is gitignored); that is not drift, so the
+// check skips.
+func TestBenchArtifactsPresent(t *testing.T) {
+	if _, err := os.Stat("bench-results"); os.IsNotExist(err) {
+		t.Skip("bench-results/ absent — run `make smoke` to generate the artifacts this checks")
+	}
+	b, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The smoke recipe is the one -exp invocation that also writes -json
+	// artifacts; comment lines mention other pacman-bench invocations.
+	m := regexp.MustCompile(`pacman-bench\s+-exp\s+([a-z0-9,]+)\s.*-json\s+bench-results`).FindStringSubmatch(string(b))
+	if m == nil {
+		t.Fatal("no `pacman-bench -exp <list> ... -json bench-results` invocation found in the Makefile — the smoke target moved without updating this test")
+	}
+	exps := strings.Split(m[1], ",")
+	if len(exps) < 2 {
+		t.Fatalf("smoke -exp list %q parsed to %d experiments — expected the full smoke matrix", m[1], len(exps))
+	}
+	for _, exp := range exps {
+		artifact := filepath.Join("bench-results", "BENCH_"+exp+".json")
+		st, err := os.Stat(artifact)
+		if err != nil {
+			t.Errorf("smoke experiment %q has no artifact %s — it ran without emitting its record, or the smoke list drifted; run `make smoke`", exp, artifact)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", artifact)
+		}
+	}
+}

@@ -47,6 +47,7 @@ var experiments = map[string]func(io.Writer, harness.Scale) error{
 	"net":        netExp,
 	"shard":      shardExp,
 	"gray":       grayExp,
+	"scaling":    harness.FigScaling,
 }
 
 // benchResult is the machine-readable record one experiment run emits when
@@ -77,7 +78,7 @@ func writeJSON(dir, id string, res benchResult) error {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, mixed, restart, torture, net, shard, gray, or 'all')")
+	exp := flag.String("exp", "", "experiment id (fig11a..fig21, table1..table3, reload, latency, throughput, mixed, restart, torture, net, shard, gray, scaling, or 'all')")
 	full := flag.Bool("full", false, "full scale (minutes per experiment) instead of bench scale")
 	list := flag.Bool("list", false, "list experiment ids")
 	duration := flag.Duration("duration", 0, "override logging-run duration")

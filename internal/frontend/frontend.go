@@ -7,9 +7,13 @@
 // never stalls on an idle session — which removes the caller-visible
 // Heartbeat footgun from the happy path.
 //
-// The queue is bounded: when every worker is busy and the queue is full,
-// Submit blocks (backpressure) instead of growing without bound. Close
-// drains: submissions already queued are executed, late submissions resolve
+// Submission is per-core: each pool worker owns a bounded queue, submitters
+// spread requests round-robin across the queues, and an idle worker steals
+// from its peers before parking (the Cicada per-thread-context idiom — no
+// single shared channel serializes admission at high worker counts). The
+// total capacity is still bounded: when every queue is full, Submit blocks
+// (backpressure) instead of growing without bound. Close drains every
+// queue: submissions already queued are executed, late submissions resolve
 // with ErrClosed, and the pool's workers are retired so the safe epoch can
 // advance past their last commits.
 //
@@ -48,10 +52,12 @@ var ErrBrownout = errors.New("frontend: brownout, shedding new work")
 // Config tunes a Frontend.
 type Config struct {
 	// Workers is the pool size: the number of transaction workers client
-	// requests are multiplexed onto (default 4).
+	// requests are multiplexed onto (default 4). Each worker owns one
+	// submission queue.
 	Workers int
-	// Queue is the submission-queue capacity; a full queue blocks Submit
-	// (default 4×Workers).
+	// Queue is the total submission capacity, split evenly across the
+	// per-worker queues (each gets at least 1 slot); when every queue is
+	// full, Submit blocks (default 4×Workers).
 	Queue int
 	// Heartbeat is the idle-worker liveness cadence (default half the
 	// manager's epoch interval).
@@ -66,9 +72,19 @@ type request struct {
 	fut   *txn.Future
 }
 
-// Frontend is a bounded worker pool over a submission queue.
+// Frontend is a bounded worker pool over per-worker submission queues with
+// work stealing.
 type Frontend struct {
-	reqs    chan request
+	// queues[i] is owned by pool worker i: the owner dequeues it first,
+	// peers steal from it when their own queues are empty. Submitters
+	// spread round-robin (rr) and fall into any queue with space, so one
+	// busy owner never wedges admission.
+	queues []chan request
+	rr     atomic.Uint32
+	// wake is a one-token nudge channel: every enqueue posts a token so a
+	// parked worker re-runs its steal scan; a worker that steals re-posts
+	// the token (baton passing) so bursts cascade through the pool.
+	wake    chan struct{}
 	closing chan struct{} // closed first: rejects new submissions
 	drainCh chan struct{} // closed once submitters settle: workers drain and exit
 
@@ -84,19 +100,24 @@ type Frontend struct {
 
 	workers   []*txn.Worker
 	executed  atomic.Int64
+	steals    atomic.Int64
 	hbEvery   time.Duration
 	closeOnce sync.Once
 
 	// Gray-failure admission control. brownout is flipped by the health
 	// watchdog; the shed counters split rejected work by where it was shed
 	// (admission deadline, dequeue deadline, brownout). dwell and lastMove
-	// feed the watchdog's queue-dwell signal.
+	// feed the watchdog's queue signals, aggregated across every queue:
+	// lastMove is GLOBAL — any enqueue or dequeue on any queue resets it —
+	// so a single idle-but-nonempty queue cannot latch the stall signal
+	// while its peers make progress (stealing guarantees a request can
+	// only stay stuck when the whole pool is wedged).
 	brownout  atomic.Bool
 	shedAdmit atomic.Int64
 	shedQueue atomic.Int64
 	shedBrown atomic.Int64
 	dwell     health.EWMA
-	lastMove  atomic.Int64 // unix nanos of the last enqueue or dequeue
+	lastMove  atomic.Int64 // unix nanos of the last enqueue or dequeue, any queue
 }
 
 // New builds a frontend over the manager's execution path. Pool workers are
@@ -115,11 +136,19 @@ func New(mgr *txn.Manager, ls *wal.LogSet, cfg Config) *Frontend {
 			cfg.Heartbeat = time.Millisecond
 		}
 	}
+	perQueue := cfg.Queue / cfg.Workers
+	if perQueue < 1 {
+		perQueue = 1
+	}
 	f := &Frontend{
-		reqs:    make(chan request, cfg.Queue),
+		queues:  make([]chan request, cfg.Workers),
+		wake:    make(chan struct{}, 1),
 		closing: make(chan struct{}),
 		drainCh: make(chan struct{}),
 		hbEvery: cfg.Heartbeat,
+	}
+	for i := range f.queues {
+		f.queues[i] = make(chan request, perQueue)
 	}
 	f.lastMove.Store(time.Now().UnixNano())
 	for i := 0; i < cfg.Workers; i++ {
@@ -129,35 +158,91 @@ func New(mgr *txn.Manager, ls *wal.LogSet, cfg Config) *Frontend {
 		}
 		f.workers = append(f.workers, w)
 	}
-	for _, w := range f.workers {
+	for i, w := range f.workers {
 		f.workerWG.Add(1)
-		go f.run(w)
+		go f.run(i, w)
 	}
 	return f
 }
 
-// run is one pool worker: execute queued requests, heartbeat while idle,
-// and on shutdown drain whatever is left in the queue before exiting.
-func (f *Frontend) run(w *txn.Worker) {
+// nudge posts the one-token wake signal; a no-op when the token is already
+// pending (a single token is enough — woken workers re-post it while they
+// keep finding work).
+func (f *Frontend) nudge() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// steal scans every peer queue (starting after self) for one request.
+func (f *Frontend) steal(self int) (request, bool) {
+	n := len(f.queues)
+	for j := 1; j < n; j++ {
+		select {
+		case r := <-f.queues[(self+j)%n]:
+			return r, true
+		default:
+		}
+	}
+	return request{}, false
+}
+
+// run is pool worker self: drain the owned queue first, steal from peers
+// when it is empty, heartbeat while idle, and on shutdown drain every queue
+// before exiting.
+func (f *Frontend) run(self int, w *txn.Worker) {
 	defer f.workerWG.Done()
+	own := f.queues[self]
 	hb := time.NewTicker(f.hbEvery)
 	defer hb.Stop()
 	for {
+		// Fast path: the owned queue, without blocking.
 		select {
-		case r := <-f.reqs:
+		case r := <-own:
 			f.handle(w, r)
+			continue
+		default:
+		}
+		if r, ok := f.steal(self); ok {
+			f.steals.Add(1)
+			// Pass the baton before executing: peers may hold more work
+			// and this worker is about to go busy.
+			f.nudge()
+			f.handle(w, r)
+			continue
+		}
+		select {
+		case r := <-own:
+			f.handle(w, r)
+		case <-f.wake:
+			// An enqueue landed somewhere; loop to re-run the steal scan.
 		case <-hb.C:
 			// Safe: this goroutine has no transaction in flight here.
 			w.Heartbeat()
 		case <-f.drainCh:
-			for {
-				select {
-				case r := <-f.reqs:
-					f.handle(w, r)
-				default:
-					return
-				}
+			f.drain(w)
+			return
+		}
+	}
+}
+
+// drain empties every queue (not just the owned one): workers race over the
+// remaining requests until a full sweep finds all queues empty. Submitters
+// have settled by the time drainCh closes, so the sweep terminates.
+func (f *Frontend) drain(w *txn.Worker) {
+	for {
+		progress := false
+		for _, q := range f.queues {
+			select {
+			case r := <-q:
+				f.handle(w, r)
+				progress = true
+			default:
 			}
+		}
+		if !progress {
+			return
 		}
 	}
 }
@@ -250,6 +335,21 @@ func (f *Frontend) admit(fut *txn.Future, now time.Time) bool {
 	return true
 }
 
+// offer tries every queue for space without blocking, starting at home.
+func (f *Frontend) offer(r request, home int) bool {
+	n := len(f.queues)
+	for j := 0; j < n; j++ {
+		select {
+		case f.queues[(home+j)%n] <- r:
+			f.lastMove.Store(time.Now().UnixNano())
+			f.nudge()
+			return true
+		default:
+		}
+	}
+	return false
+}
+
 func (f *Frontend) submit(r request, deadline time.Time) *txn.Future {
 	now := time.Now()
 	fut := txn.NewFutureDeadline(now, deadline)
@@ -258,9 +358,17 @@ func (f *Frontend) submit(r request, deadline time.Time) *txn.Future {
 	}
 	defer f.submitWG.Done()
 	r.fut = fut
+	home := int(f.rr.Add(1)-1) % len(f.queues)
+	if f.offer(r, home) {
+		return fut
+	}
+	// Every queue full: block on the home queue (backpressure). Stealing
+	// keeps the home queue draining even when its owner is wedged, so
+	// blocking on one queue cannot outlive the pool itself.
 	select {
-	case f.reqs <- r:
+	case f.queues[home] <- r:
 		f.lastMove.Store(time.Now().UnixNano())
+		f.nudge()
 	case <-f.closing:
 		fut.Resolve(time.Now(), ErrClosed)
 	}
@@ -269,7 +377,7 @@ func (f *Frontend) submit(r request, deadline time.Time) *txn.Future {
 
 // TrySubmit is the non-blocking admission path: it enqueues the invocation
 // and returns its future only when queue space is available RIGHT NOW.
-// A false return means the queue was full (or the frontend closed or
+// A false return means every queue was full (or the frontend closed or
 // browned out, or the request's deadline already passed — the returned
 // future then resolves with the typed error and ok is still false so
 // callers treat all of these as "not admitted"). The network server uses
@@ -305,19 +413,13 @@ func (f *Frontend) try(r request, deadline time.Time) (*txn.Future, bool) {
 	}
 	defer f.submitWG.Done()
 	r.fut = fut
-	select {
-	case f.reqs <- r:
-		f.lastMove.Store(time.Now().UnixNano())
+	if f.offer(r, int(f.rr.Add(1)-1)%len(f.queues)) {
 		return fut, true
-	case <-f.closing:
-		fut.Resolve(time.Now(), ErrClosed)
-		return fut, false
-	default:
-		// Not admitted: the future was never shared, so stop its expiry
-		// timer instead of letting it fire against an abandoned handle.
-		fut.Disarm()
-		return nil, false
 	}
+	// Not admitted: the future was never shared, so stop its expiry
+	// timer instead of letting it fire against an abandoned handle.
+	fut.Disarm()
+	return nil, false
 }
 
 // SetBrownout flips brownout shedding on or off. While on, new submissions
@@ -349,26 +451,45 @@ func (f *Frontend) ShedStats() Shed {
 }
 
 // QueueDwell returns the smoothed submit-to-dequeue dwell time — the
-// watchdog's overload signal for the submission queue.
+// watchdog's overload signal for the submission queues, aggregated across
+// all of them (every dequeue observes into the one EWMA).
 func (f *Frontend) QueueDwell() time.Duration { return f.dwell.Load() }
 
-// QueueStall returns how long the queue has gone without any movement
-// (enqueue or dequeue) while non-empty — zero when the queue is empty. It
-// catches the case the dwell EWMA cannot: every pool worker wedged behind
-// a gray component, so nothing dequeues and the EWMA goes stale.
+// QueueStall returns how long the queues have gone without any movement
+// (enqueue or dequeue on ANY queue) while work is pending — zero when all
+// queues are empty. It catches the case the dwell EWMA cannot: every pool
+// worker wedged behind a gray component, so nothing dequeues anywhere and
+// the EWMA goes stale. The signal is deliberately global: one non-empty
+// queue whose owner is busy does NOT trip it while peers make progress,
+// because work stealing guarantees such a request is picked up as soon as
+// any worker goes idle — evidence of a stall on one queue is stale unless
+// the whole pool has stopped moving.
 func (f *Frontend) QueueStall(now time.Time) time.Duration {
-	if len(f.reqs) == 0 {
+	if f.Depth() == 0 {
 		return 0
 	}
 	return now.Sub(time.Unix(0, f.lastMove.Load()))
 }
 
-// Depth returns the submission queue's current occupancy — the admission-
-// control signal backpressure decisions key off.
-func (f *Frontend) Depth() int { return len(f.reqs) }
+// Depth returns the total occupancy across the per-worker submission
+// queues — the admission-control signal backpressure decisions key off.
+func (f *Frontend) Depth() int {
+	d := 0
+	for _, q := range f.queues {
+		d += len(q)
+	}
+	return d
+}
 
-// Capacity returns the submission queue's capacity.
-func (f *Frontend) Capacity() int { return cap(f.reqs) }
+// Capacity returns the total submission capacity across the per-worker
+// queues.
+func (f *Frontend) Capacity() int {
+	c := 0
+	for _, q := range f.queues {
+		c += cap(q)
+	}
+	return c
+}
 
 // Exec is the synchronous durable path: Submit and wait for group-commit
 // release. The returned timestamp is durable (or err explains why not).
@@ -388,6 +509,10 @@ func (f *Frontend) Workers() []*txn.Worker {
 
 // Executed returns how many requests pool workers have run so far.
 func (f *Frontend) Executed() int64 { return f.executed.Load() }
+
+// Steals returns how many requests were executed by a worker other than
+// the owner of the queue they were submitted to.
+func (f *Frontend) Steals() int64 { return f.steals.Load() }
 
 // Close drains and shuts the pool down: new submissions resolve with
 // ErrClosed, requests already queued are executed, and the pool workers are

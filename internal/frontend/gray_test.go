@@ -58,7 +58,8 @@ func TestDeadlineShedsAtDequeue(t *testing.T) {
 	defer func() { fe.Close(); fx.mgr.Stop(); fx.logset.Close() }()
 
 	fut := txn.NewFutureDeadline(time.Now().Add(-2*time.Millisecond), time.Now().Add(-time.Millisecond))
-	fe.reqs <- request{p: fx.deposit, args: fx.depositArgs(1, 1, 1), fut: fut}
+	fe.queues[0] <- request{p: fx.deposit, args: fx.depositArgs(1, 1, 1), fut: fut}
+	fe.nudge()
 	if _, err := fut.Wait(); !errors.Is(err, txn.ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 	}
@@ -71,7 +72,8 @@ func TestDeadlineShedsAtDequeue(t *testing.T) {
 	// swept at dequeue without executing.
 	fut2 := txn.NewFutureDeadline(time.Now(), time.Now().Add(50*time.Millisecond))
 	fut2.Resolve(time.Now(), txn.ErrDeadlineExceeded)
-	fe.reqs <- request{p: fx.deposit, args: fx.depositArgs(1, 1, 1), fut: fut2}
+	fe.queues[0] <- request{p: fx.deposit, args: fx.depositArgs(1, 1, 1), fut: fut2}
+	fe.nudge()
 	waitCond(t, "resolved future swept", func() bool { return fe.ShedStats().Queue == 2 })
 	if fe.Executed() != 0 {
 		t.Fatal("a pre-resolved request must never execute")

@@ -170,7 +170,12 @@ type RunResult struct {
 	// forward-processing GC-pressure number the throughput experiment
 	// tracks.
 	Mallocs int64
-	Trace   []TraceSample
+	// Steals counts cross-queue work steals in the frontend pool — how
+	// often an idle worker drained a busy peer's submission queue. The
+	// scaling experiment reports it as the load-balance signal of the
+	// per-core pipeline.
+	Steals int64
+	Trace  []TraceSample
 
 	// MVCC reports the multi-version subsystem's counters at run end
 	// (versions reclaimed, surviving chain lengths, GC floor).
@@ -400,6 +405,7 @@ func Run(cfg RunConfig, clean bool) (*RunResult, error) {
 	// Drain the frontend (queued work executes, the pool retires) so the
 	// safe epoch covers every commit before shutdown.
 	fe.Close()
+	res.Steals = fe.Steals()
 	if daemon != nil {
 		daemon.Stop()
 	}

@@ -88,6 +88,10 @@ type Committed struct {
 	// Start is when the client submitted the transaction; the harness uses
 	// it for end-to-end (post-fsync) latency.
 	Start time.Time
+	// WID is the ID of the worker that committed this transaction. The wal
+	// release path shards its flushed-but-unreleased sets by it, so one
+	// worker's records always land on one shard in commit order.
+	WID int
 	// Future, when non-nil, is the durable-commit handle the durability
 	// pipeline resolves once this transaction's epoch is group-commit
 	// released (or fails on crash/close).
@@ -108,6 +112,14 @@ type Manager struct {
 	stopped  atomic.Bool
 	stopCh   chan struct{}
 	tickerWG sync.WaitGroup
+
+	// onAdvance, when registered, is invoked after movements that can raise
+	// SafeEpoch — epoch-clock ticks, Rebase, worker heartbeats and retires —
+	// but never from the per-transaction hot path. An inactive wal.LogSet
+	// uses it to wake WaitForEpoch parkers (whose progress shadows the safe
+	// epoch, not the pepoch thread) without busy-polling. The callback must
+	// be cheap and must not block.
+	onAdvance atomic.Pointer[func()]
 }
 
 // NewManager creates a manager over the catalog. The epoch clock starts at
@@ -131,7 +143,22 @@ func (m *Manager) Config() Config { return m.cfg }
 func (m *Manager) Epoch() uint32 { return m.epoch.Load() }
 
 // AdvanceEpoch bumps the epoch clock by one (tests and manual control).
-func (m *Manager) AdvanceEpoch() uint32 { return m.epoch.Add(1) }
+func (m *Manager) AdvanceEpoch() uint32 {
+	e := m.epoch.Add(1)
+	m.notifyAdvance()
+	return e
+}
+
+// SetOnAdvance registers the epoch-movement callback (see the onAdvance
+// field). One callback per manager; a later registration replaces the
+// earlier one.
+func (m *Manager) SetOnAdvance(fn func()) { m.onAdvance.Store(&fn) }
+
+func (m *Manager) notifyAdvance() {
+	if fn := m.onAdvance.Load(); fn != nil {
+		(*fn)()
+	}
+}
 
 // Rebase moves the epoch clock forward to at least epoch; it never moves it
 // backward. A restarted instance rebases past the recovery high-water mark
@@ -141,7 +168,11 @@ func (m *Manager) AdvanceEpoch() uint32 { return m.epoch.Add(1) }
 func (m *Manager) Rebase(epoch uint32) {
 	for {
 		cur := m.epoch.Load()
-		if epoch <= cur || m.epoch.CompareAndSwap(cur, epoch) {
+		if epoch <= cur {
+			return
+		}
+		if m.epoch.CompareAndSwap(cur, epoch) {
+			m.notifyAdvance()
 			return
 		}
 	}
@@ -158,6 +189,7 @@ func (m *Manager) StartEpochTicker() {
 			select {
 			case <-t.C:
 				m.epoch.Add(1)
+				m.notifyAdvance()
 			case <-m.stopCh:
 				return
 			}
@@ -267,7 +299,10 @@ func (w *Worker) ID() int { return w.id }
 const retiredMark = math.MaxUint64
 
 // Retire declares the worker finished; loggers no longer wait on it.
-func (w *Worker) Retire() { w.mark.Store(retiredMark) }
+func (w *Worker) Retire() {
+	w.mark.Store(retiredMark)
+	w.mgr.notifyAdvance()
+}
 
 // Heartbeat publishes the current epoch as the worker's mark. A worker with
 // no transaction in flight must heartbeat periodically (or Retire), or it
@@ -276,6 +311,7 @@ func (w *Worker) Retire() { w.mark.Store(retiredMark) }
 func (w *Worker) Heartbeat() {
 	if w.mark.Load() != retiredMark {
 		w.mark.Store(uint64(w.mgr.epoch.Load()))
+		w.mgr.notifyAdvance()
 	}
 }
 
@@ -364,6 +400,7 @@ func (w *Worker) execute(f *Future, p *proc.Compiled, args proc.Args, adHoc, dis
 					c := newCommitted()
 					c.TS = ts
 					c.Epoch = engine.EpochOf(ts)
+					c.WID = w.id
 					c.Proc = p
 					c.Args = args
 					c.AdHoc = adHoc

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,18 @@ type Config struct {
 	// snapshot views pinned at released epochs. The callback runs on the
 	// pepoch goroutine and must not block.
 	OnPepochAdvance func(pe uint32)
+	// ReleaseShards is the number of release shards the flushed-but-
+	// unreleased sets are partitioned over (by committing worker ID). Each
+	// pepoch pass drains the shards in parallel, so resolving futures and
+	// recycling records no longer funnels through the pepoch goroutine
+	// alone. Default max(2, GOMAXPROCS), capped at 8.
+	ReleaseShards int
+	// EncodeStripes is the size of the shared encode pool loggers stripe
+	// large batch encodes across (a flush splits its sorted batch range
+	// into contiguous stripes encoded concurrently, then written in order —
+	// byte-identical to the serial encode). Values <= 1 disable striping;
+	// small flushes always encode inline. Default GOMAXPROCS, capped at 8.
+	EncodeStripes int
 }
 
 // DefaultConfig returns the standard logging configuration for the given
@@ -95,14 +108,91 @@ type LogSet struct {
 	peAppends int
 
 	// peMu/peCond wake WaitForEpoch callers when the persistent epoch
-	// advances (broadcast from updatePepoch), replacing the former 100µs
-	// busy-poll loop.
+	// advances — broadcast from updatePepoch while logging is active, and
+	// from the manager's epoch-movement callback when it is not (an
+	// inactive set's PersistedEpoch shadows the safe epoch) — replacing the
+	// former 100µs busy-poll loops in both modes.
 	peMu   sync.Mutex
 	peCond *sync.Cond
+
+	// Release sharding: flushed-but-unreleased records are partitioned by
+	// committing worker ID over relShards; each pepoch pass publishes
+	// (relPE, relNow) and fans the drain out to the shard goroutines,
+	// waiting for all of them (one pass = one release timestamp). After
+	// shutdown stops the shard goroutines (relStop), relInline routes the
+	// pass through the caller's goroutine instead. obsMu serializes the
+	// OnRelease observer across shards — the callback contract predates
+	// sharding and observers do not expect concurrent calls.
+	relShards   []*relShard
+	relStop     chan struct{}
+	relStopOnce sync.Once
+	relWGrp     sync.WaitGroup
+	relPassWG   sync.WaitGroup
+	relPE       uint32
+	relNow      time.Time
+	// relParallel is true only while the shard goroutines run (between
+	// Start and shutdown's stopReleaseWorkers): outside that window —
+	// including updatePepoch calls on sets never started, as some tests
+	// do — the pass drains inline on the caller. Written before the pepoch
+	// goroutine is spawned and after it is joined, so reads from the pass
+	// owner are ordered without atomics.
+	relParallel bool
+	obsMu       sync.Mutex
+
+	// Encode striping: a shared pool of encode workers loggers submit
+	// contiguous batch stripes to (see Config.EncodeStripes). nil when
+	// striping is disabled or Start was never called; closed by shutdown
+	// after the final flush.
+	encCh       chan encJob
+	encStopOnce sync.Once
 
 	stopCh  chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+}
+
+// relShard is one release shard: the flushed-but-unreleased records of the
+// workers whose ID hashes to it, in per-worker commit order.
+type relShard struct {
+	mu      sync.Mutex
+	pending []*txn.Committed
+	// relBuf is take's reused output buffer. Drains of one shard are
+	// serialized (its own goroutine while running, the shutdown path's
+	// inline passes after), and each drain finishes with the returned slice
+	// before the next, so one buffer suffices.
+	relBuf []*txn.Committed
+	signal chan struct{}
+}
+
+// take removes and returns pending records with epoch <= pe, compacting the
+// kept records in place (vacated slots cleared so released records are not
+// pinned).
+func (sh *relShard) take(pe uint32) []*txn.Committed {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := sh.relBuf[:0]
+	kept := sh.pending[:0]
+	for _, c := range sh.pending {
+		if c.Epoch <= pe {
+			out = append(out, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	clear(sh.pending[len(kept):])
+	sh.pending = kept
+	sh.relBuf = out
+	return out
+}
+
+// encJob asks the encode pool to frame recs into *out (reset to length 0
+// first); wg.Done signals completion. The out buffer is owned by the
+// submitting logger and reused across flushes.
+type encJob struct {
+	kind Kind
+	recs []*txn.Committed
+	out  *[]byte
+	wg   *sync.WaitGroup
 }
 
 // Logger is one logging thread bound to one device, draining a subset of
@@ -147,15 +237,13 @@ type Logger struct {
 	lastSyncAt atomic.Int64
 	syncs      atomic.Uint64
 
-	// flushed-but-unreleased transactions, keyed by epoch order.
-	pendMu  sync.Mutex
-	pending []*txn.Committed
-	// relBuf is takeReleased's reused output buffer. Successive
-	// takeReleased calls on one logger are serialized (the pepoch goroutine
-	// while running; Close/Abort's failOutstanding only after goroutines
-	// stop), and each caller finishes with the returned slice before the
-	// next call, so one buffer suffices.
-	relBuf []*txn.Committed
+	// stripeBufs are the per-stripe encode buffers a striped flush frames
+	// into (reused across flushes); encWG is the reused completion group
+	// for one flush's stripe jobs; widBuf is shardPut's reused
+	// shard-index cache.
+	stripeBufs [][]byte
+	encWG      sync.WaitGroup
+	widBuf     []int
 }
 
 // NewLogSet builds a logging subsystem with one logger per device. With
@@ -167,9 +255,25 @@ func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet 
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = time.Millisecond
 	}
+	if cfg.ReleaseShards <= 0 {
+		cfg.ReleaseShards = max(2, min(8, runtime.GOMAXPROCS(0)))
+	}
+	if cfg.EncodeStripes == 0 {
+		cfg.EncodeStripes = min(8, runtime.GOMAXPROCS(0))
+	}
 	s := &LogSet{mgr: mgr, cfg: cfg, stopCh: make(chan struct{})}
 	s.peCond = sync.NewCond(&s.peMu)
 	if cfg.Kind == Off || len(devices) == 0 {
+		// Inactive: PersistedEpoch shadows the safe epoch, which advances
+		// with the epoch clock and worker marks — not through updatePepoch.
+		// Route those movements into the same condition variable so
+		// WaitForEpoch parks instead of busy-polling (the former Off-mode
+		// caveat).
+		mgr.SetOnAdvance(func() {
+			s.peMu.Lock()
+			s.peCond.Broadcast()
+			s.peMu.Unlock()
+		})
 		return s
 	}
 	s.pepoch.Store(cfg.ResumeEpoch)
@@ -178,6 +282,10 @@ func NewLogSet(mgr *txn.Manager, cfg Config, devices []*simdisk.Device) *LogSet 
 		lg := &Logger{id: i, set: s, dev: d}
 		lg.persisted.Store(cfg.ResumeEpoch)
 		s.loggers = append(s.loggers, lg)
+	}
+	s.relStop = make(chan struct{})
+	for i := 0; i < cfg.ReleaseShards; i++ {
+		s.relShards = append(s.relShards, &relShard{signal: make(chan struct{})})
 	}
 	return s
 }
@@ -221,6 +329,27 @@ func (s *LogSet) Start() {
 		}(lg)
 	}
 	if len(s.loggers) > 0 {
+		// Release-shard drains, launched before the pepoch goroutine so
+		// every fanned-out pass has receivers. Lifecycle: shards only exit
+		// via relStop, which shutdown closes strictly after the pepoch
+		// goroutine has stopped (s.wg.Wait) — so a pass can never be
+		// stranded mid-fanout with no receiver.
+		for _, sh := range s.relShards {
+			s.relWGrp.Add(1)
+			go func(sh *relShard) {
+				defer s.relWGrp.Done()
+				for {
+					select {
+					case <-sh.signal:
+						s.drainShard(sh)
+						s.relPassWG.Done()
+					case <-s.relStop:
+						return
+					}
+				}
+			}(sh)
+		}
+		s.relParallel = true
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -235,7 +364,44 @@ func (s *LogSet) Start() {
 				}
 			}
 		}()
+		// The shared encode pool (striped batch encoding). Closed by
+		// shutdown after the final flush; encode workers never block on
+		// anything but the job channel, so loggers' blocking submits always
+		// drain.
+		if s.cfg.EncodeStripes > 1 {
+			s.encCh = make(chan encJob, 2*s.cfg.EncodeStripes)
+			for i := 0; i < s.cfg.EncodeStripes; i++ {
+				go func() {
+					for j := range s.encCh {
+						*j.out = encodeRecords((*j.out)[:0], j.kind, j.recs)
+						j.wg.Done()
+					}
+				}()
+			}
+		}
 	}
+}
+
+// stopReleaseWorkers stops the shard goroutines and flips the release path
+// to inline (shutdown's final passes run on the caller). Must only be
+// called after the pepoch goroutine has stopped.
+func (s *LogSet) stopReleaseWorkers() {
+	if s.relStop == nil {
+		return
+	}
+	s.relStopOnce.Do(func() { close(s.relStop) })
+	s.relWGrp.Wait()
+	s.relParallel = false
+}
+
+// stopEncodeWorkers shuts the encode pool down. Must only be called once no
+// further flush can run.
+func (s *LogSet) stopEncodeWorkers() {
+	s.encStopOnce.Do(func() {
+		if s.encCh != nil {
+			close(s.encCh)
+		}
+	})
 }
 
 // Close flushes everything outstanding (workers should be retired first so
@@ -245,6 +411,9 @@ func (s *LogSet) Close() {
 		close(s.stopCh)
 	}
 	s.wg.Wait()
+	// With the pepoch goroutine stopped, no pass is in flight: stop the
+	// shard goroutines and run the final flush + release pass inline.
+	s.stopReleaseWorkers()
 	safe := s.mgr.SafeEpoch()
 	for _, lg := range s.loggers {
 		lg.flush(safe)
@@ -255,6 +424,7 @@ func (s *LogSet) Close() {
 	// epoch never became safe) will not be flushed by anyone: fail their
 	// futures so no caller waits forever.
 	s.failOutstanding(ErrClosed)
+	s.stopEncodeWorkers()
 }
 
 // Abort stops the logger and pepoch goroutines without any final flush —
@@ -265,11 +435,13 @@ func (s *LogSet) Abort() {
 		close(s.stopCh)
 	}
 	s.wg.Wait()
+	s.stopReleaseWorkers()
 	// Every commit the pipeline still owned dies with it: resolve its
 	// future with ErrCrashed so clients observe the lost tail instead of
 	// waiting forever, and fail each worker's durability so transactions
 	// executed after the crash resolve immediately too.
 	s.failOutstanding(ErrCrashed)
+	s.stopEncodeWorkers()
 }
 
 // failOutstanding resolves every future still owned by the logging
@@ -286,7 +458,9 @@ func (s *LogSet) failOutstanding(err error) {
 		for _, w := range workers {
 			w.FailDurability(err)
 		}
-		failed := lg.takeReleased(^uint32(0))
+	}
+	for _, sh := range s.relShards {
+		failed := sh.take(^uint32(0))
 		for _, c := range failed {
 			if c.Future != nil {
 				c.Future.Resolve(now, err)
@@ -309,19 +483,13 @@ func (s *LogSet) PersistedEpoch() uint32 {
 }
 
 // WaitForEpoch blocks until the persistent epoch reaches e (tests and
-// clean shutdown). Waiters park on a condition variable signaled from
-// updatePepoch instead of busy-polling. With logging inactive the
-// persistent epoch shadows the safe epoch (which advances with the epoch
-// clock, not through updatePepoch), so that case keeps a poll loop.
+// clean shutdown). Waiters park on a condition variable — signaled from
+// updatePepoch while logging is active, and from the manager's
+// epoch-movement callback when it is not (the inactive persistent epoch
+// shadows the safe epoch) — so no mode busy-polls.
 func (s *LogSet) WaitForEpoch(e uint32) {
-	if !s.Active() {
-		for s.PersistedEpoch() < e {
-			time.Sleep(100 * time.Microsecond)
-		}
-		return
-	}
 	s.peMu.Lock()
-	for s.pepoch.Load() < e {
+	for s.PersistedEpoch() < e {
 		s.peCond.Wait()
 	}
 	s.peMu.Unlock()
@@ -387,32 +555,104 @@ func (s *LogSet) updatePepoch() {
 			s.cfg.OnPepochAdvance(pe)
 		}
 	}
-	// Release covered transactions: resolve each durable-commit future,
-	// then surface the same epoch batch to the OnRelease observer (the
-	// legacy callback rides the future-release path — both see exactly the
-	// transactions whose epochs the new pepoch covers). Without an
-	// observer the records have no remaining owner and recycle into the
-	// commit-record pool; an observer takes ownership instead (it may
-	// retain them past the call).
-	now := time.Now()
-	for _, lg := range s.loggers {
-		released := lg.takeReleased(pe)
-		if len(released) == 0 {
-			continue
+	// Release covered transactions across the shards. The scan runs every
+	// pass, advance or not (see the function comment).
+	s.releasePass(pe)
+}
+
+// releasePass drains every release shard up to pe: one pass, one release
+// timestamp. While the shard goroutines run, the pass fans out to them and
+// waits (parallel drain, but the pepoch goroutine still owns the pass —
+// the next marker append starts only after every future of this cut is
+// resolved, preserving the old serial scan's epoch-ordered resolution).
+// After shutdown stops the goroutines, the pass runs inline.
+func (s *LogSet) releasePass(pe uint32) {
+	if len(s.relShards) == 0 {
+		return
+	}
+	s.relPE = pe
+	s.relNow = time.Now()
+	if !s.relParallel {
+		for _, sh := range s.relShards {
+			s.drainShard(sh)
 		}
-		for _, c := range released {
-			if c.Future != nil {
-				c.Future.Resolve(now, nil)
+		return
+	}
+	s.relPassWG.Add(len(s.relShards))
+	for _, sh := range s.relShards {
+		sh.signal <- struct{}{}
+	}
+	s.relPassWG.Wait()
+}
+
+// drainShard resolves and hands off one shard's records covered by the
+// current pass. Resolve each durable-commit future, then surface the same
+// batch to the OnRelease observer (the legacy callback rides the
+// future-release path — both see exactly the transactions whose epochs the
+// pass's pepoch covers). Without an observer the records have no remaining
+// owner and recycle into the commit-record pool; an observer takes
+// ownership instead (it may retain them past the call).
+func (s *LogSet) drainShard(sh *relShard) {
+	released := sh.take(s.relPE)
+	if len(released) == 0 {
+		return
+	}
+	now := s.relNow
+	for _, c := range released {
+		if c.Future != nil {
+			c.Future.Resolve(now, nil)
+		}
+	}
+	if s.cfg.OnRelease != nil {
+		// The observer owns what it receives and may retain it, so it gets
+		// its own slice — the shard's release buffer is rewritten on the
+		// next pass. Only this observer-configured (legacy, non-hot) path
+		// pays the copy; obsMu keeps the pre-sharding one-caller-at-a-time
+		// contract.
+		s.obsMu.Lock()
+		s.cfg.OnRelease(append([]*txn.Committed(nil), released...))
+		s.obsMu.Unlock()
+	} else {
+		txn.RecycleCommitted(released)
+	}
+}
+
+// shardPut distributes freshly persisted records to their release shards
+// (by committing worker ID, so one worker's records stay on one shard in
+// commit order). Runs on the logger goroutine after a successful sync.
+// Shard indices are cached up front (widBuf): a record handed to a shard
+// is owned by the release path immediately — it can be resolved and
+// recycled while later iterations still run — so no field of it may be
+// read after its append.
+func (lg *Logger) shardPut(recs []*txn.Committed) {
+	shards := lg.set.relShards
+	n := len(shards)
+	if n == 1 {
+		sh := shards[0]
+		sh.mu.Lock()
+		sh.pending = append(sh.pending, recs...)
+		sh.mu.Unlock()
+		return
+	}
+	wid := lg.widBuf[:0]
+	for _, c := range recs {
+		wid = append(wid, c.WID%n)
+	}
+	lg.widBuf = wid
+	for i, sh := range shards {
+		locked := false
+		for k, c := range recs {
+			if wid[k] != i {
+				continue
 			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			sh.pending = append(sh.pending, c)
 		}
-		if s.cfg.OnRelease != nil {
-			// The observer owns what it receives and may retain it, so it
-			// gets its own slice — the logger's release buffer is rewritten
-			// on the next pass. Only this observer-configured (legacy,
-			// non-hot) path pays the copy.
-			s.cfg.OnRelease(append([]*txn.Committed(nil), released...))
-		} else {
-			txn.RecycleCommitted(released)
+		if locked {
+			sh.mu.Unlock()
 		}
 	}
 }
@@ -581,12 +821,16 @@ func (lg *Logger) flush(safeEpoch uint32) {
 			hi++
 		}
 		w := lg.writerFor(b)
-		buf := lg.encBuf[:0]
-		for _, c := range recs[lo:hi] {
-			buf = encodeRecord(buf, lg.set.cfg.Kind, c)
+		if lg.set.encCh != nil && hi-lo >= 2*stripeMinRecs {
+			lg.encodeStriped(w, recs[lo:hi])
+		} else {
+			buf := lg.encBuf[:0]
+			for _, c := range recs[lo:hi] {
+				buf = encodeRecord(buf, lg.set.cfg.Kind, c)
+			}
+			lg.encBuf = buf
+			w.Write(buf)
 		}
-		lg.encBuf = buf
-		w.Write(buf)
 		lo = hi
 	}
 	if lg.set.cfg.Sync && lg.curWriter != nil {
@@ -615,9 +859,56 @@ func (lg *Logger) flush(safeEpoch uint32) {
 		lg.persisted.Store(safeEpoch)
 	}
 
-	lg.pendMu.Lock()
-	lg.pending = append(lg.pending, recs...)
-	lg.pendMu.Unlock()
+	lg.shardPut(recs)
+}
+
+// stripeMinRecs is the smallest stripe worth dispatching to the encode
+// pool; a flush is striped only when it can fill at least two such
+// stripes. Small flushes — the micro-benchmark and low-load regime — stay
+// on the inline allocation-free path.
+const stripeMinRecs = 256
+
+// encodeStriped splits one batch's sorted record range into contiguous
+// stripes, encodes them concurrently on the set's encode pool, and writes
+// the stripe buffers in order — byte-identical to the serial encode, so
+// batch-file contents do not depend on the stripe geometry.
+func (lg *Logger) encodeStriped(w *simdisk.Writer, recs []*txn.Committed) {
+	stripes := len(recs) / stripeMinRecs
+	if mx := lg.set.cfg.EncodeStripes; stripes > mx {
+		stripes = mx
+	}
+	for len(lg.stripeBufs) < stripes {
+		lg.stripeBufs = append(lg.stripeBufs, nil)
+	}
+	per, rem := len(recs)/stripes, len(recs)%stripes
+	lg.encWG.Add(stripes)
+	start := 0
+	for si := 0; si < stripes; si++ {
+		cnt := per
+		if si < rem {
+			cnt++
+		}
+		lg.set.encCh <- encJob{
+			kind: lg.set.cfg.Kind,
+			recs: recs[start : start+cnt],
+			out:  &lg.stripeBufs[si],
+			wg:   &lg.encWG,
+		}
+		start += cnt
+	}
+	lg.encWG.Wait()
+	for si := 0; si < stripes; si++ {
+		w.Write(lg.stripeBufs[si])
+	}
+}
+
+// encodeRecords frames recs into buf in order (the encode pool's unit of
+// work).
+func encodeRecords(buf []byte, kind Kind, recs []*txn.Committed) []byte {
+	for _, c := range recs {
+		buf = encodeRecord(buf, kind, c)
+	}
+	return buf
 }
 
 // writerFor returns the writer of the given batch, rotating files as the
@@ -655,28 +946,4 @@ func (lg *Logger) timedSync(w *simdisk.Writer) error {
 	lg.lastSyncAt.Store(time.Now().UnixNano())
 	lg.syncs.Add(1)
 	return err
-}
-
-// takeReleased removes and returns pending transactions with epoch <= pe.
-// The pending set is partitioned in place (kept records compact to the
-// front, vacated slots are cleared so released records are not pinned) and
-// the result lands in the logger's reused release buffer: the caller must
-// be done with the returned slice before the next takeReleased call on this
-// logger — release calls are serialized, see the relBuf field.
-func (lg *Logger) takeReleased(pe uint32) []*txn.Committed {
-	lg.pendMu.Lock()
-	defer lg.pendMu.Unlock()
-	out := lg.relBuf[:0]
-	kept := lg.pending[:0]
-	for _, c := range lg.pending {
-		if c.Epoch <= pe {
-			out = append(out, c)
-		} else {
-			kept = append(kept, c)
-		}
-	}
-	clear(lg.pending[len(kept):])
-	lg.pending = kept
-	lg.relBuf = out
-	return out
 }

@@ -211,9 +211,12 @@ func TestFlushSyncFailureFailsRecords(t *testing.T) {
 	if _, err := fut.Wait(); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("future resolved %v, want ErrCrashed", err)
 	}
-	lg.pendMu.Lock()
-	n := len(lg.pending)
-	lg.pendMu.Unlock()
+	n := 0
+	for _, sh := range ls.relShards {
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
 	if n != 0 {
 		t.Fatalf("%d unsynced records parked in pending (would be released as durable)", n)
 	}
